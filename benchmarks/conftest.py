@@ -1,0 +1,41 @@
+"""Shared reporting for the experiment benches.
+
+Each bench computes its experiment's paper-vs-measured comparison and
+registers it with :func:`report`; the rows are printed in the terminal
+summary (so they survive pytest's output capture) in experiment order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: dict[str, list[str]] = {}
+
+
+@pytest.fixture
+def report():
+    """Register a report block: ``report("E1", ["row", ...])``."""
+
+    def _report(experiment: str, lines: list[str]) -> None:
+        _REPORTS[experiment] = list(lines)
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 74)
+    write("EXPERIMENT RESULTS (paper claim vs measured)")
+    write("=" * 74)
+    for experiment in sorted(_REPORTS):
+        write("")
+        for line in _REPORTS[experiment]:
+            write(line)
+    write("")
+
+
+def fmt_row(label: str, *values: object) -> str:
+    return f"  {label:<44}" + "  ".join(f"{v!s:>10}" for v in values)

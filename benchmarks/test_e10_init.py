@@ -1,0 +1,59 @@
+"""E10 — system initialization: "produce on a system tape a bit pattern
+which, when loaded into memory, manifests a fully initialized system,
+rather than letting the system bootstrap itself in a complex way each
+time ...  One pattern of operation may be much simpler to certify than
+the other."
+
+Measured: privileged steps executed at boot, statements of
+initialization code a certifier must audit under each strategy, and
+functional equivalence of the booted systems.
+"""
+
+from repro import MulticsSystem, kernel_config
+from repro.config import InitKind
+from repro.init import bootstrap as bootstrap_module
+from repro.init.bootstrap import BootstrapInitializer, standard_steps
+from repro.init.image import ImageBuilder, boot_from_image, _manifest
+from repro.kernel.metrics import count_statements
+from repro.kernel.services import KernelServices
+
+
+def boot_system(kind: InitKind):
+    system = MulticsSystem(kernel_config(init=kind)).boot()
+    system.register_user("Alice", "Crypto", "pw")
+    session = system.login("Alice", "Crypto", "pw")
+    session.create_segment("sanity")
+    return system
+
+
+def test_e10_initialization(benchmark, report):
+    boot_sys = boot_system(InitKind.BOOTSTRAP)
+    image_sys = benchmark(boot_system, InitKind.IMAGE)
+
+    assert boot_sys.boot_privileged_steps == len(standard_steps())
+    assert image_sys.boot_privileged_steps == 2
+
+    # Code a certifier must audit as *boot-time kernel execution*:
+    # bootstrap: every step body; image: the seal check + manifest loop.
+    bootstrap_stmts = count_statements(bootstrap_module)
+    image_boot_stmts = count_statements(boot_from_image) + count_statements(
+        _manifest
+    )
+
+    # Functional equivalence.
+    names_a = sorted(
+        b.name for b in boot_sys.services.tree.root.list_branches()
+    )
+    names_b = sorted(
+        b.name for b in image_sys.services.tree.root.list_branches()
+    )
+    assert set(names_a) <= set(names_b) or set(names_b) <= set(names_a)
+
+    report("E10", [
+        "E10: system initialization (paper: memory image vs in-kernel",
+        "     bootstrap; one pattern 'much simpler to certify')",
+        "                                     bootstrap       image",
+        f"  privileged steps at boot        {boot_sys.boot_privileged_steps:>12} {image_sys.boot_privileged_steps:>11}",
+        f"  boot-time kernel code (stmts)   {bootstrap_stmts:>12} {image_boot_stmts:>11}",
+        "  image generation runs in a user environment of a previous system",
+    ])

@@ -1,0 +1,44 @@
+"""E11 — penetration: "in all general-purpose systems confronted, a
+wily user can construct a program that can obtain unauthorized access
+to information stored within the system"; the kernel systematically
+excludes those flaw classes.
+
+Measured: the Linde-catalog attack suite against the live legacy
+supervisor and against the live security kernel.
+"""
+
+from repro import MulticsSystem, kernel_config, legacy_config
+from repro.security.flaws import STANDARD_ATTACKS, run_penetration_suite
+
+
+def attack_both():
+    legacy = run_penetration_suite(MulticsSystem(legacy_config()).boot())
+    kernel = run_penetration_suite(MulticsSystem(kernel_config()).boot())
+    return legacy, kernel
+
+
+def test_e11_penetration_exercise(benchmark, report):
+    legacy, kernel = benchmark(attack_both)
+
+    assert legacy.successes >= 3      # the paper's grim starting point
+    assert kernel.successes == 0      # the kernel's whole purpose
+
+    lines = [
+        "E11: penetration exercise (paper: every general-purpose system",
+        "     confronted was penetrable; the kernel excludes the classes)",
+        f"  attacks attempted: {legacy.attempted} "
+        f"(flaw classes: {len(STANDARD_ATTACKS)})",
+        "  attack                          legacy      kernel",
+    ]
+    kernel_by_name = {r.attack: r for r in kernel.results}
+    for result in legacy.results:
+        twin = kernel_by_name[result.attack]
+        lines.append(
+            f"  {result.attack:<28} {'PENETRATED' if result.succeeded else 'held':>10} "
+            f"{'PENETRATED' if twin.succeeded else 'held':>11}"
+        )
+    lines.append(
+        f"  totals                        {legacy.successes:>7}/{legacy.attempted}"
+        f" {kernel.successes:>9}/{kernel.attempted}"
+    )
+    report("E11", lines)

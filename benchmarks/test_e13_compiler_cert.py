@@ -1,0 +1,105 @@
+"""E13 — footnote 6: certify the compiler's effect per kernel module,
+"a task much simpler than certifying the compiler correct for all
+possible source programs."
+
+Measured: certification of three kernel-language modules (structural
+check + differential execution against the source model), and the
+certifier catching a tampered object.
+"""
+
+import pytest
+
+from repro.errors import CertificationError
+from repro.hw.cpu import Instruction, Op
+from repro.lang.certifier import certify_module
+from repro.lang.compiler import compile_source
+
+MODULES = {
+    "page_select": (
+        """
+        procedure score(used, modified, age);
+          declare s;
+          s = age;
+          if used > 0 then s = s / 2; end;
+          if modified > 0 then s = s - 1; end;
+          return s;
+        end;
+
+        procedure better(a_used, a_mod, a_age, b_used, b_mod, b_age);
+          if score(a_used, a_mod, a_age) >= score(b_used, b_mod, b_age) then
+            return 1;
+          end;
+          return 0;
+        end;
+        """,
+        {
+            "score": [[0, 0, 10], [1, 0, 10], [1, 1, 9], [0, 1, 3]],
+            "better": [[0, 0, 10, 1, 0, 10], [1, 1, 2, 0, 0, 8]],
+        },
+    ),
+    "quota_check": (
+        """
+        procedure fits(used, requested, quota);
+          if used + requested <= quota then
+            return 1;
+          end;
+          return 0;
+        end;
+        """,
+        {"fits": [[10, 5, 16], [10, 7, 16], [0, 0, 0], [1, 0, 1]]},
+    ),
+    "ring_rules": (
+        """
+        procedure may_write(ring, r1);
+          if ring <= r1 then return 1; end;
+          return 0;
+        end;
+
+        procedure target_ring(ring, r1, r2, r3);
+          if ring < r1 then return r1; end;
+          if ring <= r2 then return ring; end;
+          if ring <= r3 then return r2; end;
+          return -1;
+        end;
+        """,
+        {
+            "may_write": [[0, 0], [1, 0], [4, 4]],
+            "target_ring": [[4, 0, 0, 7], [3, 1, 4, 6], [0, 2, 4, 6], [7, 0, 0, 5]],
+        },
+    ),
+}
+
+
+def certify_all():
+    reports = {}
+    for module, (source, vectors) in MODULES.items():
+        reports[module] = certify_module(source, module, vectors)
+    return reports
+
+
+def test_e13_per_module_certification(benchmark, report):
+    reports = benchmark(certify_all)
+    assert all(r.certified for r in reports.values())
+
+    # The certifier catches a tampered object.
+    source, vectors = MODULES["quota_check"]
+    tampered = compile_source(source, "quota_check")
+    for i, inst in enumerate(tampered.code):
+        if inst.op is Op.LE:
+            tampered.code[i] = Instruction(Op.LT)  # off-by-one backdoor
+            break
+    with pytest.raises(CertificationError):
+        certify_module(source, "quota_check", vectors, obj=tampered)
+
+    lines = [
+        "E13: per-module compiler certification (paper footnote 6: compare",
+        "     source model with object code, per kernel module)",
+        "  module          procedures  vectors  certified",
+    ]
+    for module, r in reports.items():
+        lines.append(
+            f"  {module:<15} {len(r.procedures_checked):>9} "
+            f"{r.vectors_run:>8} {'yes' if r.certified else 'NO':>9}"
+        )
+    lines.append("  tampered object (LE -> LT backdoor) detected: yes")
+    report("E13", lines)

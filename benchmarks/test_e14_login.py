@@ -1,0 +1,59 @@
+"""E14 — the unified process-creation / subsystem-entry mechanism: "the
+large collection of privileged, protected code used to authenticate and
+log in users would become non-privileged code."
+
+Measured: login-related gates and privileged code statements under each
+supervisor, and a live login/logout workload through both paths.
+"""
+
+from repro import MulticsSystem, kernel_config, legacy_config
+from repro.kernel import login_kernel, proc_gates
+from repro.kernel.kernel import build_kernel
+from repro.kernel.legacy import build_legacy
+from repro.kernel.metrics import count_statements, gate_census
+
+
+def login_workload(system, n_users: int = 5):
+    sessions = []
+    for i in range(n_users):
+        system.register_user(f"User{i}", "Proj", f"pw{i}")
+        sessions.append(system.login(f"User{i}", "Proj", f"pw{i}"))
+    for session in sessions:
+        session.logout()
+    return len(sessions)
+
+
+def test_e14_login_becomes_unprivileged(benchmark, report):
+    legacy_census = gate_census(build_legacy())
+    kernel_census = gate_census(build_kernel())
+    legacy_login_gates = legacy_census.by_removal.get("login", 0)
+    assert legacy_login_gates >= 5
+    assert "login" not in kernel_census.by_removal
+
+    # Privileged login code: the whole answering service vs the single
+    # proc_create handler (+ the password hash it shares).
+    legacy_privileged = count_statements(login_kernel)
+    kernel_privileged = count_statements(
+        proc_gates.h_proc_create
+    ) + count_statements(proc_gates.hash_password)
+    assert kernel_privileged * 3 < legacy_privileged
+
+    # Both paths work end to end.
+    legacy_system = MulticsSystem(legacy_config()).boot()
+    assert login_workload(legacy_system) == 5
+    kernel_system = MulticsSystem(kernel_config()).boot()
+    completed = benchmark(login_workload, kernel_system)
+    assert completed == 5
+    # The kernel system's dialogue ran in the user ring.
+    assert kernel_system.listener is not None
+    assert kernel_system.listener.transcript
+
+    report("E14", [
+        "E14: login via the unified mechanism (paper: privileged login code",
+        "     becomes non-privileged)",
+        "                                        legacy      kernel",
+        f"  user-available login gates         {legacy_login_gates:>10} {0:>11}",
+        f"  privileged login code (stmts)      {legacy_privileged:>10} {kernel_privileged:>11}",
+        "  session dialogue / table / greeting   ring 0   user ring",
+        "  privileged steps per login          whole flow   1 gate call",
+    ])

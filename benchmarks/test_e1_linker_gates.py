@@ -1,0 +1,29 @@
+"""E1 — "the linker's removal eliminated 10% of the gate entry points
+into the supervisor."
+
+Measured: the linker gate family's share of the legacy supervisor's
+user-available perimeter, from the live gate table.
+"""
+
+from repro.kernel.kernel import build_kernel
+from repro.kernel.legacy import build_legacy
+from repro.kernel.metrics import gate_census, linker_removal
+
+
+def test_e1_linker_share_of_gates(benchmark, report):
+    legacy = benchmark(build_legacy)
+    comparison = linker_removal(legacy)
+    census = gate_census(legacy)
+
+    assert comparison.removed == 10
+    assert 0.08 <= comparison.fraction_removed <= 0.14
+
+    report("E1", [
+        "E1: linker removal (paper: eliminated 10% of gate entry points)",
+        f"  legacy user-available gates            {comparison.before:>6}",
+        f"  linker gates removed                   {comparison.removed:>6}",
+        f"  measured fraction                      {comparison.fraction_removed:>6.1%}",
+        "  paper claim                               10%",
+        f"  perimeter after linker removal        {comparison.after:>6}",
+        f"  by category: {census.by_category}",
+    ])

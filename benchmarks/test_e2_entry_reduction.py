@@ -1,0 +1,34 @@
+"""E2 — "The linker and reference name removal projects together reduce
+the number of user-available supervisor entries by approximately one
+third."
+
+Measured: the combined linker + naming share of the legacy perimeter,
+plus the additional reductions (device I/O consolidation, login
+removal) the full security kernel applies.
+"""
+
+from repro.kernel.kernel import build_kernel
+from repro.kernel.legacy import build_legacy
+from repro.kernel.metrics import gate_census, linker_and_naming_removal
+
+
+def test_e2_user_available_entry_reduction(benchmark, report):
+    legacy, kernel = benchmark(lambda: (build_legacy(), build_kernel()))
+    comparison = linker_and_naming_removal(legacy)
+    legacy_census = gate_census(legacy)
+    kernel_census = gate_census(kernel)
+
+    assert 0.30 <= comparison.fraction_removed <= 0.42
+    assert kernel_census.user_available < legacy_census.user_available
+
+    total_reduction = 1 - kernel_census.user_available / legacy_census.user_available
+    report("E2", [
+        "E2: supervisor entry reduction (paper: linker+naming ~ one third)",
+        f"  legacy user-available entries          {comparison.before:>6}",
+        f"  removed by linker project              {legacy_census.by_removal.get('linker', 0):>6}",
+        f"  removed by naming project              {legacy_census.by_removal.get('naming', 0):>6}",
+        f"  measured linker+naming fraction        {comparison.fraction_removed:>6.1%}",
+        "  paper claim                           ~33.3%",
+        f"  full security kernel entries           {kernel_census.user_available:>6}"
+        f"  (total reduction {total_reduction:.1%}, incl. device-I/O + login projects)",
+    ])

@@ -1,0 +1,65 @@
+"""E3 — "The result of the removal is a reduction by a factor of ten in
+the size of the protected code needed to manage the address space of a
+process", plus the new segno-based file-system interface.
+
+Measured: AST statement counts of the protected address-space
+management code under each supervisor (legacy: the unsplit KST plus the
+in-kernel naming apparatus; kernel: the split KST's common half plus
+the minimal initiate/terminate gates), and a live workload run against
+both interfaces to show the new one is functionally complete.
+"""
+
+from repro import MulticsSystem, kernel_config, legacy_config
+from repro.kernel.kernel import build_kernel
+from repro.kernel.legacy import build_legacy
+from repro.kernel.metrics import address_space_code_size, address_space_reduction
+
+
+_RUN_COUNTER = [0]
+
+
+def address_space_workload(system):
+    """Exercise initiation/termination/naming through either interface."""
+    _RUN_COUNTER[0] += 1
+    lib = f"lib{_RUN_COUNTER[0]}"
+    session = system.login("Alice", "Crypto", "alice-pw")
+    session.create_dir(lib)
+    for i in range(8):
+        session.create_segment(f"{lib}>seg{i}")
+    segnos = [
+        session.initiate(f"{session.home_path}>{lib}>seg{i}") for i in range(8)
+    ]
+    for segno in segnos:
+        session.call("hcs_$terminate", segno)
+    for i in range(8):
+        session.delete(f"{lib}>seg{i}")
+    session.delete(lib)
+    return len(segnos)
+
+
+def test_e3_protected_address_space_code(benchmark, report):
+    legacy, kernel = build_legacy(), build_kernel()
+    before = address_space_code_size(legacy)
+    after = address_space_code_size(kernel)
+    ratio = address_space_reduction(legacy, kernel)
+    assert ratio > 3.0
+
+    # Both interfaces support the same workload.
+    kernel_system = MulticsSystem(kernel_config()).boot()
+    kernel_system.register_user("Alice", "Crypto", "alice-pw")
+    legacy_system = MulticsSystem(legacy_config()).boot()
+    legacy_system.register_user("Alice", "Crypto", "alice-pw")
+    assert address_space_workload(legacy_system) == 8
+    result = benchmark(address_space_workload, kernel_system)
+    assert result == 8
+
+    report("E3", [
+        "E3: protected address-space management code (paper: 10x reduction)",
+        f"  legacy (unsplit KST + in-kernel naming) {before:>6} statements",
+        f"  kernel (split KST common half)          {after:>6} statements",
+        f"  measured reduction factor               {ratio:>6.1f}x",
+        "  paper claim                               10.0x",
+        "  note: Python compresses the boilerplate-heavy legacy PL/I side;",
+        "  the direction and order of the reduction reproduce, the constant",
+        "  does not (see EXPERIMENTS.md).",
+    ])

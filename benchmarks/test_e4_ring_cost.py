@@ -1,0 +1,103 @@
+"""E4 — "calls from one ring to another now cost no more than calls
+inside a ring" (6180 hardware rings), vs the 645 where cross-ring calls
+were "quite expensive" — the fact that unlocked the removal programme.
+
+Measured: cycle cost of in-ring vs cross-ring (gate) calls on the
+simulated CPU under both ring implementations, and the end-to-end cost
+of a fixed syscall-heavy workload on both machines.
+"""
+
+from repro import MulticsSystem, kernel_config
+from repro.config import CostModel, RingMode
+from repro.hw.cpu import CPU, CodeSegment, Instruction as I, Op
+from repro.hw.memory import MemoryLevel
+from repro.hw.rings import kernel_gate_brackets, user_brackets
+from repro.hw.segmentation import SDW, AccessMode, DescriptorSegment
+
+
+class _Ctx:
+    def __init__(self):
+        self.dseg = DescriptorSegment()
+        self.ring = 4
+        self._codes = {}
+        self._links = []
+
+    def code_segment(self, segno):
+        return self._codes[segno]
+
+    def linkage(self):
+        return self._links
+
+    def stack_limit(self):
+        return 4096
+
+
+def build_context():
+    """Segment 1: user code calling segment 2 (same ring) and segment 3
+    (a ring-0 gate)."""
+    ctx = _Ctx()
+    callee = CodeSegment([I(Op.PUSHI, 1), I(Op.RET)], {"entry": 0})
+    for segno, brackets, gates in (
+        (1, user_brackets(4), None),
+        (2, user_brackets(4), None),
+        (3, kernel_gate_brackets(), frozenset({0})),
+    ):
+        ctx.dseg.add(SDW(segno=segno, access=AccessMode.RE, brackets=brackets,
+                         page_table=[], bound=1, gates=gates))
+        ctx._codes[segno] = callee
+    ctx._codes[1] = CodeSegment(
+        [I(Op.CALL, 2, 0, 0), I(Op.POP), I(Op.CALL, 3, 0, 0), I(Op.RET)],
+        {"main": 0},
+    )
+    return ctx
+
+
+def measure_call_cost(ring_mode: RingMode, target_segno: int) -> int:
+    """Cycles of one call+return to target (in-ring seg 2, gate seg 3)."""
+    ctx = build_context()
+    ctx._codes[1] = CodeSegment([I(Op.CALL, target_segno, 0, 0), I(Op.RET)], {})
+    cpu = CPU(MemoryLevel("core", 1, 1, 16), CostModel(), ring_mode, 16)
+    cpu.execute(ctx, 1, 0)
+    return cpu.cycles
+
+
+def syscall_workload(system):
+    session = system.login("Alice", "Crypto", "alice-pw")
+    start = session.process.cpu_cycles
+    for i in range(50):
+        session.call("hcs_$get_root")
+    return session.process.cpu_cycles - start
+
+
+def test_e4_cross_ring_call_cost(benchmark, report):
+    costs = {}
+    for mode in (RingMode.SOFTWARE_645, RingMode.HARDWARE_6180):
+        in_ring = measure_call_cost(mode, 2)
+        cross = measure_call_cost(mode, 3)
+        costs[mode] = (in_ring, cross)
+
+    in_645, cross_645 = costs[RingMode.SOFTWARE_645]
+    in_6180, cross_6180 = costs[RingMode.HARDWARE_6180]
+    assert cross_6180 == in_6180          # the paper's claim, exactly
+    assert cross_645 > in_645 * 5         # the 645 pain
+
+    # End-to-end: the same syscall workload on both machines.
+    workload_cycles = {}
+    for mode in (RingMode.SOFTWARE_645, RingMode.HARDWARE_6180):
+        system = MulticsSystem(kernel_config(ring_mode=mode)).boot()
+        system.register_user("Alice", "Crypto", "alice-pw")
+        if mode is RingMode.HARDWARE_6180:
+            workload_cycles[mode] = benchmark(syscall_workload, system)
+        else:
+            workload_cycles[mode] = syscall_workload(system)
+
+    report("E4", [
+        "E4: ring-crossing cost (paper: 6180 cross-ring == in-ring call)",
+        f"  645  in-ring call cycles               {in_645:>8}",
+        f"  645  cross-ring (gate) call cycles     {cross_645:>8}"
+        f"   ({cross_645 / in_645:.1f}x)",
+        f"  6180 in-ring call cycles               {in_6180:>8}",
+        f"  6180 cross-ring (gate) call cycles     {cross_6180:>8}   (1.0x)",
+        f"  50-syscall workload on 645             {workload_cycles[RingMode.SOFTWARE_645]:>8} cycles",
+        f"  50-syscall workload on 6180            {workload_cycles[RingMode.HARDWARE_6180]:>8} cycles",
+    ])

@@ -1,0 +1,83 @@
+"""E9 — the two-layer process implementation: a *fixed* number of
+virtual processors multiplexed over the real ones (level 1, no VM
+dependency), several dedicated to kernel mechanisms, and the rest
+multiplexed among any number of user processes (level 2).
+
+Measured: the dedication census after boot, level 1's structural
+independence from the VM (its import graph), and a run of twice as
+many user processes as pooled virtual processors to completion.
+"""
+
+import ast as python_ast
+import inspect
+
+from repro.config import SystemConfig
+from repro.hw.clock import Simulator
+from repro.proc.ipc import Block, Charge, Wakeup
+from repro.proc.process import Process, ProcessState
+from repro.proc.scheduler import TrafficController
+
+
+def run_overcommit(n_processes: int, n_vps: int):
+    config = SystemConfig(
+        page_size=16, core_frames=8, bulk_frames=32, disk_frames=256,
+        n_processors=2, n_virtual_processors=n_vps, quantum=200,
+    )
+    sim = Simulator()
+    tc = TrafficController(sim, config)
+    # Two dedicated kernel processes, as page control would have.
+    rendezvous = tc.create_channel("kernel.work")
+
+    def kernel_body(proc):
+        while True:
+            yield Block(rendezvous)
+            yield Charge(5)
+
+    for i in range(2):
+        tc.add_process(Process(f"kernel{i}", body=kernel_body, dedicated=True))
+
+    def user_body(proc):
+        for _ in range(10):
+            yield Charge(20)
+            yield Wakeup(rendezvous)
+
+    users = [Process(f"user{i}", body=user_body) for i in range(n_processes)]
+    for user in users:
+        tc.add_process(user)
+    tc.run(max_events=2_000_000)
+    return tc, users
+
+
+def test_e9_two_layer_processes(benchmark, report):
+    n_vps = 6
+    n_processes = 2 * (n_vps - 2)
+    tc, users = benchmark(run_overcommit, n_processes, n_vps)
+
+    assert all(u.state is ProcessState.STOPPED for u in users)
+    assert tc.vpt.dedicated_total == 2
+    assert len(tc.vpt) == n_vps          # the population never grew
+    assert tc.vp_waits > 0               # level 2 really multiplexed
+
+    # Level 1 independence from the VM: no repro.vm / repro.fs imports.
+    import repro.proc.virtual_processor as level1
+
+    tree = python_ast.parse(inspect.getsource(level1))
+    imports = set()
+    for node in python_ast.walk(tree):
+        if isinstance(node, python_ast.Import):
+            imports.update(alias.name for alias in node.names)
+        elif isinstance(node, python_ast.ImportFrom) and node.module:
+            imports.add(node.module)
+    vm_free = not any(m.startswith(("repro.vm", "repro.fs")) for m in imports)
+    assert vm_free
+
+    report("E9", [
+        "E9: two-layer process implementation (paper: fixed VP population,",
+        "    level 1 independent of the virtual memory, dedicated kernel VPs)",
+        f"  virtual processors (fixed)             {len(tc.vpt):>6}",
+        f"  dedicated to kernel processes          {tc.vpt.dedicated_total:>6}",
+        f"  pooled for user multiplexing           {tc.vpt.pooled_total:>6}",
+        f"  user processes completed               {len(users):>6}",
+        f"  times a process waited for a VP        {tc.vp_waits:>6}",
+        f"  level 1 imports repro.vm / repro.fs    {'no' if vm_free else 'YES':>6}",
+    ])

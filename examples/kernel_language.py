@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Writing and certifying a kernel module in KPL (footnote 6).
+
+Compiles a page-replacement scoring module in the PL/I-subset kernel
+language, certifies the object code against its source model, then
+shows the certifier catching a tampered (backdoored) object.
+
+Run:  python examples/kernel_language.py
+"""
+
+from repro.errors import CertificationError
+from repro.hw.cpu import Instruction, Op
+from repro.lang import certify_module, compile_source
+from repro.lang.certifier import execute_object
+
+SOURCE = """
+/* Score a resident page for eviction: higher = better victim. */
+procedure score(used, modified, age);
+  declare s;
+  s = age;
+  if used > 0 then s = s / 2; end;
+  if modified > 0 then s = s - 1; end;
+  return s;
+end;
+
+procedure pick(a_used, a_mod, a_age, b_used, b_mod, b_age);
+  if score(a_used, a_mod, a_age) >= score(b_used, b_mod, b_age) then
+    return 0;
+  end;
+  return 1;
+end;
+"""
+
+VECTORS = {
+    "score": [[0, 0, 100], [1, 0, 100], [1, 1, 50], [0, 1, 7]],
+    "pick": [[0, 0, 9, 1, 1, 9], [1, 0, 2, 0, 0, 8]],
+}
+
+
+def main() -> None:
+    obj = compile_source(SOURCE, "page_score")
+    print(f"compiled page_score: {len(obj.code)} instructions, "
+          f"definitions {sorted(obj.definitions)}")
+    print(f"score(unused, clean, age 100) = "
+          f"{execute_object(obj, 'page_score', 'score', [0, 0, 100])}")
+
+    report = certify_module(SOURCE, "page_score", VECTORS, obj=obj)
+    print(f"certification: {report.vectors_run} vectors across "
+          f"{report.procedures_checked} -> "
+          f"{'CERTIFIED' if report.certified else 'FAILED'}")
+
+    # A maintainer "optimizes" the object code... backwards.
+    tampered = compile_source(SOURCE, "page_score")
+    for i, inst in enumerate(tampered.code):
+        if inst.op is Op.GE:
+            tampered.code[i] = Instruction(Op.LT)
+            break
+    try:
+        certify_module(SOURCE, "page_score", VECTORS, obj=tampered)
+    except CertificationError as error:
+        print(f"tampered object rejected: {error}")
+
+
+if __name__ == "__main__":
+    main()

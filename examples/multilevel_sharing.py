@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Multilevel security: the MITRE compartment lattice in action.
+
+An intelligence project stores material at several classifications in
+one shared hierarchy.  The kernel's bottom layer enforces the lattice
+(no read up, no write down) no matter what the ACLs say; ACLs control
+sharing *within* what the lattice allows.
+
+Run:  python examples/multilevel_sharing.py
+"""
+
+from repro import MulticsSystem, SecurityLabel, kernel_config
+from repro.errors import AccessDenied, AccessViolation, KernelDenial
+
+
+def try_op(label: str, fn) -> None:
+    try:
+        fn()
+        print(f"  allowed : {label}")
+    except (AccessViolation, AccessDenied, KernelDenial) as error:
+        reason = str(error).split(":")[-1].strip()
+        print(f"  DENIED  : {label}  ({reason})")
+
+
+def main() -> None:
+    system = MulticsSystem(kernel_config()).boot()
+    system.register_user("Clerk", "Intel", "pw",
+                         clearance=SecurityLabel.parse("unclassified"))
+    system.register_user("Analyst", "Intel", "pw",
+                         clearance=SecurityLabel.parse("secret"))
+    system.register_user("CryptoOff", "Intel", "pw",
+                         clearance=SecurityLabel.parse("secret:crypto"))
+
+    clerk = system.login("Clerk", "Intel", "pw")
+    analyst = system.login("Analyst", "Intel", "pw")
+    crypto = system.login("CryptoOff", "Intel", "pw")
+
+    # The clerk builds the shared tree and drops an upgraded report
+    # (blind write-up: the clerk can create and write it, never read it).
+    print("clerk sets up the drop box:")
+    report = clerk.create_segment(
+        "field_report", label=SecurityLabel.parse("secret")
+    )
+    clerk.set_acl("field_report", "*.Intel", "rw")
+    clerk.write_words(report, [1915, 6, 5])
+    try_op("clerk re-reads own upgraded report",
+           lambda: clerk.read_words(report, 3))
+
+    path = f"{clerk.home_path}>field_report"
+    print("analyst (secret) works on the report:")
+    analyst_segno = analyst.initiate(path)
+    try_op("analyst reads the report",
+           lambda: analyst.read_words(analyst_segno, 3))
+
+    print("lattice keeps everyone in their lane:")
+    try_op("analyst creates a file in the unclassified home (write-down)",
+           lambda: analyst.call(
+               "hcs_$create_segment",
+               analyst.search.resolve_dir(clerk.home_path),
+               "leak", 1, SecurityLabel.parse("unclassified"),
+           ))
+    try_op("analyst exfiltrates via the network",
+           lambda: analyst.call("net_$send", "remote", "secret stuff"))
+    try_op("clerk sends unclassified traffic",
+           lambda: clerk.call("net_$send", "remote", "weather report"))
+
+    # Compartments: secret:crypto is invisible to plain secret.
+    print("compartments:")
+    keys = clerk.create_segment(
+        "key_material", label=SecurityLabel.parse("secret:crypto")
+    )
+    clerk.set_acl("key_material", "*.Intel", "rw")
+    key_path = f"{clerk.home_path}>key_material"
+    crypto_segno = crypto.initiate(key_path)
+    try_op("crypto officer reads key material",
+           lambda: crypto.read_words(crypto_segno, 1))
+    # secret:crypto dominates plain secret, so the analyst may still
+    # write up into it — but can never read a word of it.
+    try_op("plain-secret analyst reads key material",
+           lambda: analyst.read_words(analyst.initiate(key_path), 1))
+
+    print(f"audit trail: {len(system.audit)} records, "
+          f"{len(system.audit.denied())} denials")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A user-constructed protected subsystem: the compiler team's
+installation service from the paper.
+
+"A team producing a new compiler might set up a program development
+subsystem with a common mechanism to control installation of new
+modules into the evolving compiler."  The subsystem lives in ring 2;
+team members can only reach it through its declared entries, and a
+borrowed (trojan) entry can damage the subsystem's data but nothing of
+the caller's.
+
+Run:  python examples/protected_subsystem.py
+"""
+
+from repro import MulticsSystem, kernel_config
+from repro.errors import AccessDenied
+from repro.subsys.protected_subsystem import SubsystemManager
+
+
+def main() -> None:
+    system = MulticsSystem(kernel_config()).boot()
+    for person in ("Lead", "Dev1", "Dev2", "Outsider"):
+        system.register_user(person, "Compiler"
+                             if person != "Outsider" else "Elsewhere", "pw")
+
+    lead = system.login("Lead", "Compiler", "pw")
+    dev1 = system.login("Dev1", "Compiler", "pw")
+    outsider = system.login("Outsider", "Elsewhere", "pw")
+
+    manager = SubsystemManager(system.services)
+    install = manager.create(lead.process, "installer", ring=2)
+    install.members = {"Lead", "Dev1", "Dev2"}
+    install.private_data["modules"] = {}
+    install.private_data["log"] = []
+
+    def submit(ctx, module_name, version):
+        """Only the subsystem may touch the module registry."""
+        registry = ctx.data["modules"]
+        current = registry.get(module_name, 0)
+        if version <= current:
+            return f"rejected: {module_name} v{version} <= v{current}"
+        registry[module_name] = version
+        ctx.data["log"].append((str(ctx.caller), module_name, version))
+        return f"installed {module_name} v{version}"
+
+    def audit_log(ctx):
+        return list(ctx.data["log"])
+
+    install.declare("submit", submit, n_args=2)
+    install.declare("audit", audit_log, n_args=0)
+
+    print("team members install through the gate:")
+    print(" ", manager.enter(lead.process, "installer", "submit", "parser", 1))
+    print(" ", manager.enter(dev1.process, "installer", "submit", "parser", 2))
+    print(" ", manager.enter(dev1.process, "installer", "submit", "parser", 1))
+
+    print("the outsider is refused at the boundary:")
+    try:
+        manager.enter(outsider.process, "installer", "submit", "backdoor", 9)
+    except AccessDenied as error:
+        print(f"  denied: {error}")
+
+    print("the installation log (readable only through the audit entry):")
+    for who, module, version in manager.enter(
+        lead.process, "installer", "audit"
+    ):
+        print(f"  {who} installed {module} v{version}")
+
+    print(f"subsystem ring brackets: {install.brackets()!r} "
+          "(user ring enters only through gates)")
+
+
+if __name__ == "__main__":
+    main()

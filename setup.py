@@ -1,0 +1,9 @@
+"""Setup shim.
+
+The offline environment lacks the `wheel` package, so pip's PEP-660
+editable path (which needs bdist_wheel) fails; with setup.py present,
+`pip install -e . --no-build-isolation` uses the legacy develop path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,158 @@
+"""Exception hierarchy for the simulated Multics.
+
+Two families matter:
+
+* :class:`HardwareFault` subclasses model faults raised by the simulated
+  Honeywell 6180 hardware (segment faults, page faults, access violations,
+  gate violations).  Inside the simulation these are *events*, not errors:
+  the supervisor catches and services them (a missing-page fault starts
+  page control; an access violation is reflected to the offending process).
+
+* :class:`KernelDenial` subclasses model *refusals* by kernel software:
+  a gate rejecting a malformed argument, the reference monitor denying an
+  access, the file system reporting a missing entry.
+
+Keeping the families separate matches the paper's framing: the hardware
+is the enforcement point of last resort, while kernel software implements
+the security model on top of it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware faults (simulated 6180 fault vector)
+# ---------------------------------------------------------------------------
+
+class HardwareFault(ReproError):
+    """A fault signalled by the simulated hardware."""
+
+    #: Short mnemonic used in fault logs and audit records.
+    mnemonic = "fault"
+
+
+class SegmentFault(HardwareFault):
+    """Reference to a segment number with no valid SDW (segment not active)."""
+
+    mnemonic = "segfault"
+
+    def __init__(self, segno: int, message: str = ""):
+        self.segno = segno
+        super().__init__(message or f"segment fault on segment {segno}")
+
+
+class MissingPageFault(HardwareFault):
+    """Reference to a page whose PTW says it is not in primary memory."""
+
+    mnemonic = "pagefault"
+
+    def __init__(self, segno: int, pageno: int):
+        self.segno = segno
+        self.pageno = pageno
+        super().__init__(f"missing page fault: segment {segno} page {pageno}")
+
+
+class AccessViolation(HardwareFault):
+    """The ring/permission check on a reference failed.
+
+    This is the hardware half of the reference monitor: an SDW grants the
+    executing ring no right to perform the attempted reference.
+    """
+
+    mnemonic = "access"
+
+    def __init__(self, message: str):
+        super().__init__(message)
+
+
+class GateViolation(AccessViolation):
+    """An inward call did not enter through a legitimate gate entry point."""
+
+    mnemonic = "gate"
+
+
+class BoundsViolation(AccessViolation):
+    """Reference beyond the bound recorded in the SDW."""
+
+    mnemonic = "bounds"
+
+
+class IllegalInstruction(HardwareFault):
+    """The CPU decoded an instruction it cannot execute (or a privileged
+    instruction attempted outside ring 0)."""
+
+    mnemonic = "illegal"
+
+
+# ---------------------------------------------------------------------------
+# Kernel software denials
+# ---------------------------------------------------------------------------
+
+class KernelDenial(ReproError):
+    """Base class for refusals issued by kernel software through a gate."""
+
+
+class InvalidArgument(KernelDenial):
+    """A gate rejected a caller-supplied argument before acting on it.
+
+    The paper identifies user-constructed arguments (the linker's input
+    segments being the worst case) as a major source of supervisor
+    vulnerability; every kernel gate validates its arguments first.
+    """
+
+
+class AccessDenied(KernelDenial):
+    """The reference monitor denied the requested access (ACL or MAC)."""
+
+
+class NoSuchEntry(KernelDenial):
+    """A directory lookup failed."""
+
+
+class NameDuplication(KernelDenial):
+    """An entry name already exists in the target directory."""
+
+
+class QuotaExceeded(KernelDenial):
+    """Storage quota would be exceeded by the requested allocation."""
+
+
+class AuthenticationError(KernelDenial):
+    """Login failed: unknown user or wrong password."""
+
+
+# ---------------------------------------------------------------------------
+# User-ring software errors (not security relevant; never raised by kernel)
+# ---------------------------------------------------------------------------
+
+class UserRingError(ReproError):
+    """Base class for errors raised by non-kernel, user-ring software."""
+
+
+class LinkageError(UserRingError):
+    """The dynamic linker could not resolve a symbolic reference."""
+
+
+class ObjectFormatError(UserRingError):
+    """A purported object segment is malformed.
+
+    In the legacy supervisor this condition surfaces *inside ring 0* (the
+    in-kernel linker parses the segment); in the new system it surfaces
+    harmlessly in the user ring.
+    """
+
+
+class SearchFailed(UserRingError):
+    """Search rules exhausted without locating the requested name."""
+
+
+class CompilationError(UserRingError):
+    """The kernel-language compiler rejected a source program."""
+
+
+class CertificationError(ReproError):
+    """Object code failed conformance checking against its source model."""

@@ -1,0 +1,28 @@
+"""The file system, in the paper's two layers.
+
+* Layer 1 (:mod:`repro.fs.uid_layer`): "a file system in which all
+  segments were named by system generated unique identifiers."
+* Layer 2 (:mod:`repro.fs.directory`): "a naming hierarchy on top of
+  the primitive first layer file system."
+
+Plus ACLs (:mod:`repro.fs.acl`) and the split known segment table
+(:mod:`repro.fs.kst`): the common half (segment numbers) stays in the
+kernel, the private half (reference names) moves to the user ring
+(:mod:`repro.user.refnames`) — the removal the paper credits with a
+tenfold reduction in protected address-space-management code (E3).
+"""
+
+from repro.fs.acl import Acl, AclEntry
+from repro.fs.directory import Branch, Directory, DirectoryTree
+from repro.fs.kst import KnownSegmentTable
+from repro.fs.uid_layer import UidFileSystem
+
+__all__ = [
+    "Acl",
+    "AclEntry",
+    "Branch",
+    "Directory",
+    "DirectoryTree",
+    "KnownSegmentTable",
+    "UidFileSystem",
+]

@@ -1,0 +1,113 @@
+"""The known segment table — the *common* half.
+
+Before the removal project, the KST mixed two things: the mapping from
+segment numbers to file-system objects (needed by the kernel to build
+SDWs) and the management of symbolic *reference names* (needed only by
+the user's own naming environment).  Bratt's project split it: "a data
+base central to the management of the address space, the known segment
+table, be split into a private and a common part".
+
+This module is the common (kernel) half: segment-number allocation and
+the segno ↔ UID correspondence, per process.  The private half —
+reference names — lives in the user ring
+(:mod:`repro.user.refnames`).  The tenfold code-size reduction of
+experiment E3 is the difference between this module plus its gates and
+the legacy in-kernel equivalent (address space + reference names +
+tree-walking + search rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgument, NoSuchEntry
+
+#: First segment number handed to user segments (lower numbers are
+#: reserved for the kernel's own segments and per-ring stacks).
+FIRST_USER_SEGNO = 8
+
+
+@dataclass
+class KstEntry:
+    segno: int
+    uid: int
+    #: Whether the branch was a directory (the kernel lies about
+    #: directories' existence to the user ring only via access checks,
+    #: but it must remember what it mapped).
+    is_directory: bool = False
+
+
+class KnownSegmentTable:
+    """Per-process segno <-> UID map (kernel data)."""
+
+    def __init__(self, first_segno: int = FIRST_USER_SEGNO, capacity: int = 4096) -> None:
+        if first_segno < 0:
+            raise InvalidArgument("first segment number must be >= 0")
+        self.first_segno = first_segno
+        self.capacity = capacity
+        self._by_segno: dict[int, KstEntry] = {}
+        self._by_uid: dict[int, KstEntry] = {}
+        self._next = first_segno
+
+    def make_known(self, uid: int, is_directory: bool = False) -> tuple[int, bool]:
+        """Map ``uid`` into the address space.
+
+        Returns ``(segno, was_already_known)``; idempotent per UID, as
+        in Multics (initiating the same segment twice yields the same
+        segment number).
+        """
+        entry = self._by_uid.get(uid)
+        if entry is not None:
+            return entry.segno, True
+        if len(self._by_segno) >= self.capacity:
+            raise InvalidArgument("known segment table is full")
+        segno = self._allocate_segno()
+        entry = KstEntry(segno, uid, is_directory)
+        self._by_segno[segno] = entry
+        self._by_uid[uid] = entry
+        return segno, False
+
+    def terminate(self, segno: int) -> int:
+        """Unmap a segment number; returns the UID it referenced."""
+        entry = self._by_segno.pop(segno, None)
+        if entry is None:
+            raise NoSuchEntry(f"segment number {segno} is not known")
+        del self._by_uid[entry.uid]
+        return entry.uid
+
+    def _allocate_segno(self) -> int:
+        # Reuse the lowest free number at or above first_segno.
+        while self._next in self._by_segno:
+            self._next += 1
+        segno = self._next
+        self._next += 1
+        return segno
+
+    # -- queries ------------------------------------------------------------
+
+    def uid_of(self, segno: int) -> int:
+        try:
+            return self._by_segno[segno].uid
+        except KeyError:
+            raise NoSuchEntry(f"segment number {segno} is not known") from None
+
+    def segno_of(self, uid: int) -> int:
+        try:
+            return self._by_uid[uid].segno
+        except KeyError:
+            raise NoSuchEntry(f"uid {uid} is not known") from None
+
+    def is_known(self, uid: int) -> bool:
+        return uid in self._by_uid
+
+    def entry(self, segno: int) -> KstEntry:
+        try:
+            return self._by_segno[segno]
+        except KeyError:
+            raise NoSuchEntry(f"segment number {segno} is not known") from None
+
+    def entries(self) -> list[KstEntry]:
+        return sorted(self._by_segno.values(), key=lambda e: e.segno)
+
+    def __len__(self) -> int:
+        return len(self._by_segno)

@@ -1,0 +1,120 @@
+"""Layer 1 of the file system: segments named by unique identifiers.
+
+The paper's bottom-layer proposal: "the bottom layer might implement a
+file system in which all segments were named by system generated unique
+identifiers."  This layer knows nothing about tree names, directories,
+or reference names — only UIDs, sizes, security labels, and storage.
+
+Compartmentalization (the MITRE model) is enforced *here*, at the
+bottom layer, so that even the naming hierarchy above cannot create a
+downward flow: every segment carries an immutable
+:class:`~repro.security.mac.SecurityLabel` from creation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidArgument, NoSuchEntry, QuotaExceeded
+from repro.security.mac import BOTTOM, SecurityLabel
+from repro.vm.segment_control import ActiveSegmentTable
+
+
+@dataclass
+class SegmentRecord:
+    """Layer-1 metadata for one segment."""
+
+    uid: int
+    n_pages: int
+    label: SecurityLabel = field(default=BOTTOM)
+    created_at: int = 0
+    #: True for segments that hold a layer-2 directory's contents.
+    is_directory: bool = False
+
+
+class UidFileSystem:
+    """The flat, UID-named segment store."""
+
+    def __init__(
+        self,
+        ast: ActiveSegmentTable,
+        max_pages: int | None = None,
+        page_control=None,
+    ) -> None:
+        self.ast = ast
+        #: Optional back-reference so deletion can flush resident pages.
+        self.page_control = page_control
+        self._uids = itertools.count(1000)
+        self._records: dict[int, SegmentRecord] = {}
+        #: Total page budget (defaults to the disk size).
+        self.max_pages = (
+            max_pages
+            if max_pages is not None
+            else ast.hierarchy.disk.n_frames
+        )
+        self.pages_in_use = 0
+
+    # -- creation / deletion ----------------------------------------------
+
+    def create_segment(
+        self,
+        n_pages: int,
+        label: SecurityLabel = BOTTOM,
+        is_directory: bool = False,
+        created_at: int = 0,
+    ) -> int:
+        """Create a segment, returning its system-generated UID."""
+        if n_pages <= 0:
+            raise InvalidArgument("a segment needs at least one page")
+        if self.pages_in_use + n_pages > self.max_pages:
+            raise QuotaExceeded(
+                f"creating {n_pages} pages would exceed the "
+                f"{self.max_pages}-page store"
+            )
+        uid = next(self._uids)
+        self._records[uid] = SegmentRecord(
+            uid, n_pages, label, created_at, is_directory
+        )
+        self.ast.activate(uid, n_pages)
+        self.pages_in_use += n_pages
+        return uid
+
+    def delete_segment(self, uid: int) -> None:
+        """Delete a segment, reclaiming core frames and storage homes.
+
+        Freeing clears frames (when so configured), which is what keeps
+        the classic residue flaw out of the kernel (experiment E11).
+        """
+        record = self.record(uid)
+        seg = self.ast.get(uid)
+        if self.page_control is not None:
+            self.page_control.flush_segment(seg)
+        else:
+            for pageno in seg.resident_pages():
+                ptw = seg.ptws[pageno]
+                self.ast.hierarchy.core.free(ptw.frame)
+                ptw.evict()
+        self.ast.drop(uid)
+        del self._records[uid]
+        self.pages_in_use -= record.n_pages
+
+    # -- queries ------------------------------------------------------------
+
+    def record(self, uid: int) -> SegmentRecord:
+        try:
+            return self._records[uid]
+        except KeyError:
+            raise NoSuchEntry(f"no segment with uid {uid}") from None
+
+    def exists(self, uid: int) -> bool:
+        return uid in self._records
+
+    def label_of(self, uid: int) -> SecurityLabel:
+        return self.record(uid).label
+
+    def uids(self) -> list[int]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

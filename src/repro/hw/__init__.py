@@ -1,0 +1,28 @@
+"""Simulated Honeywell 6180 hardware substrate.
+
+Modules:
+
+* :mod:`repro.hw.clock` — discrete-event simulated time.
+* :mod:`repro.hw.memory` — three-level physical memory hierarchy.
+* :mod:`repro.hw.segmentation` — SDWs, descriptor segments, PTWs, translation.
+* :mod:`repro.hw.rings` — ring brackets, effective-ring rules, call gates.
+* :mod:`repro.hw.cpu` — abstract micro-op CPU with cycle accounting.
+* :mod:`repro.hw.interrupts` — interrupt controller.
+"""
+
+from repro.hw.clock import Clock, Simulator
+from repro.hw.memory import MemoryHierarchy, MemoryLevel
+from repro.hw.rings import RingBrackets
+from repro.hw.segmentation import SDW, PTW, AccessMode, DescriptorSegment
+
+__all__ = [
+    "Clock",
+    "Simulator",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "RingBrackets",
+    "SDW",
+    "PTW",
+    "AccessMode",
+    "DescriptorSegment",
+]

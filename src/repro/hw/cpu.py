@@ -1,0 +1,416 @@
+"""An abstract CPU for the simulated 6180.
+
+The CPU executes a small stack-machine instruction set.  It is not a
+cycle-accurate 6180; it exists so that the protection architecture is
+*enforced on a real execution path*: every operand reference goes
+through :func:`repro.hw.segmentation.translate` (rings + bounds +
+paging), every transfer of control through a CALL is validated by
+:func:`repro.hw.rings.call_check` (gate discipline), and every call is
+charged the ring-crossing cost of the configured machine (645 software
+rings vs 6180 hardware rings — experiment E4).
+
+Instructions live in code segments as a Python list (``SDW`` data pages
+hold only *data* words); this keeps the simulation light while leaving
+the protection semantics intact, because instruction fetch still
+performs the FETCH access check against the code segment's SDW.
+
+Dynamic linking: the ``CALLL`` instruction calls through a *linkage
+section*.  An unsnapped link raises a linkage fault which the
+environment resolves — in the kernel (legacy supervisor) or in the user
+ring (security kernel), which is experiment E1's machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.config import CostModel, RingMode
+from repro.errors import IllegalInstruction, MissingPageFault, ReproError
+from repro.hw.memory import MemoryLevel
+from repro.hw.rings import call_check, call_cost
+from repro.hw.segmentation import DescriptorSegment, Intent, translate
+
+
+class Op(enum.Enum):
+    """Stack-machine opcodes."""
+
+    PUSHI = "pushi"    # push immediate
+    LOAD = "load"      # push M[seg|off]
+    STORE = "store"    # pop -> M[seg|off]
+    LOADI = "loadi"    # pop off; push M[seg|off]
+    STOREI = "storei"  # pop off, pop v; M[seg|off] = v
+    LOADF = "loadf"    # push frame slot i (argument/local)
+    STOREF = "storef"  # pop -> frame slot i
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    NOT = "not"
+    JMP = "jmp"
+    JZ = "jz"
+    JNZ = "jnz"
+    CALL = "call"      # static call: operands (segno, offset, nargs)
+    CALLL = "calll"    # call through linkage-section slot: operands (index, nargs)
+    RET = "ret"        # return; top of stack is the return value
+    HALT = "halt"
+    DUP = "dup"
+    POP = "pop"
+    SWAP = "swap"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    op: Op
+    a: int = 0
+    b: int = 0
+    c: int = 0
+
+    def __repr__(self) -> str:
+        return f"{self.op.value} {self.a} {self.b} {self.c}".rstrip(" 0") or self.op.value
+
+
+@dataclass
+class CodeSegment:
+    """Executable image bound to a segment number.
+
+    ``entry_points`` names the public entries (offset -> name) used by
+    gates and by the linker's definitions section.
+    """
+
+    instructions: list[Instruction]
+    entry_points: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class Link:
+    """One slot in a linkage section."""
+
+    symbol: str                 # "segment$entry" symbolic reference
+    snapped: bool = False
+    segno: int = -1
+    offset: int = -1
+
+
+class LinkageFault(ReproError):
+    """A CALLL went through an unsnapped link; the environment's linkage
+    fault handler must snap it and restart the instruction."""
+
+    def __init__(self, index: int, link: Link):
+        self.index = index
+        self.link = link
+        super().__init__(f"linkage fault on link {index} ({link.symbol})")
+
+
+class MachineContext(Protocol):
+    """What the CPU needs to know about the executing process."""
+
+    dseg: DescriptorSegment
+    ring: int
+
+    def stack_limit(self) -> int: ...
+    def code_segment(self, segno: int) -> CodeSegment: ...
+    def linkage(self) -> list[Link]: ...
+
+
+@dataclass
+class _Frame:
+    return_segno: int
+    return_pc: int
+    return_ring: int
+    slots: list[int]
+    stack_base: int
+
+
+class ExecutionLimit(ReproError):
+    """The instruction budget was exhausted (runaway program)."""
+
+
+class CPU:
+    """Executes code segments for one context at a time.
+
+    The CPU charges cycles to an internal counter; callers (the process
+    layer, the benches) read :attr:`cycles` or diff it around a call.
+    """
+
+    def __init__(
+        self,
+        core: MemoryLevel,
+        costs: CostModel,
+        ring_mode: RingMode,
+        page_size: int,
+        on_missing_page: Callable[[MachineContext, int, int], None] | None = None,
+        on_linkage_fault: Callable[[MachineContext, int], None] | None = None,
+    ) -> None:
+        self.core = core
+        self.costs = costs
+        self.ring_mode = ring_mode
+        self.page_size = page_size
+        self.on_missing_page = on_missing_page
+        self.on_linkage_fault = on_linkage_fault
+        self.cycles = 0
+        #: Counters for the benches.
+        self.calls_in_ring = 0
+        self.calls_cross_ring = 0
+        self.instructions_executed = 0
+
+    # -- memory helpers ---------------------------------------------------
+
+    def _read(self, ctx: MachineContext, segno: int, offset: int) -> int:
+        while True:
+            try:
+                frame, word = translate(
+                    ctx.dseg, segno, offset, ctx.ring, Intent.READ, self.page_size
+                )
+                break
+            except MissingPageFault as fault:
+                self._service_page_fault(ctx, fault)
+        self.cycles += self.costs.core_access
+        return self.core.read(frame, word)
+
+    def _write(self, ctx: MachineContext, segno: int, offset: int, value: int) -> None:
+        while True:
+            try:
+                frame, word = translate(
+                    ctx.dseg, segno, offset, ctx.ring, Intent.WRITE, self.page_size
+                )
+                break
+            except MissingPageFault as fault:
+                self._service_page_fault(ctx, fault)
+        self.cycles += self.costs.core_access
+        self.core.write(frame, word, value)
+
+    def _service_page_fault(self, ctx: MachineContext, fault: MissingPageFault) -> None:
+        if self.on_missing_page is None:
+            raise fault
+        self.on_missing_page(ctx, fault.segno, fault.pageno)
+
+    # -- execution --------------------------------------------------------
+
+    def execute(
+        self,
+        ctx: MachineContext,
+        segno: int,
+        entry: int = 0,
+        args: list[int] | None = None,
+        max_instructions: int = 1_000_000,
+    ) -> int:
+        """Run from ``segno|entry`` until HALT or a RET from the initial
+        frame.  Returns the value on top of the stack (0 if empty).
+
+        Hardware faults other than missing-page and linkage faults
+        propagate to the caller — in the full system the supervisor
+        reflects them to the faulting process; in tests they are the
+        assertion of interest.
+        """
+        code = ctx.code_segment(segno)
+        # Instruction fetch legality for the *initial* transfer: treat it
+        # like a call from the current ring.
+        sdw = ctx.dseg.get(segno)
+        new_ring = call_check(sdw.brackets, ctx.ring, entry, sdw.gates)
+        self.cycles += call_cost(self.costs, self.ring_mode, ctx.ring, new_ring)
+        self._count_call(ctx.ring, new_ring)
+
+        stack: list[int] = []
+        frames: list[_Frame] = [
+            _Frame(-1, -1, ctx.ring, list(args or []), 0)
+        ]
+        ctx.ring = new_ring
+        pc = entry
+        executed = 0
+
+        while True:
+            if executed >= max_instructions:
+                raise ExecutionLimit(
+                    f"exceeded {max_instructions} instructions"
+                )
+            if not 0 <= pc < len(code.instructions):
+                raise IllegalInstruction(
+                    f"pc {pc} outside code segment {segno}"
+                )
+            # Instruction fetch check: the executing ring must still be
+            # allowed to execute this segment.
+            from repro.hw.segmentation import check_access  # local to avoid cycle
+            check_access(ctx.dseg.get(segno), ctx.ring, Intent.FETCH)
+
+            inst = code.instructions[pc]
+            pc += 1
+            executed += 1
+            self.instructions_executed += 1
+            self.cycles += self.costs.instruction
+            op = inst.op
+
+            if op is Op.PUSHI:
+                stack.append(inst.a)
+            elif op is Op.LOAD:
+                stack.append(self._read(ctx, inst.a, inst.b))
+            elif op is Op.STORE:
+                self._write(ctx, inst.a, inst.b, self._pop(stack))
+            elif op is Op.LOADI:
+                offset = self._pop(stack)
+                stack.append(self._read(ctx, inst.a, offset))
+            elif op is Op.STOREI:
+                offset = self._pop(stack)
+                value = self._pop(stack)
+                self._write(ctx, inst.a, offset, value)
+            elif op is Op.LOADF:
+                frame = frames[-1]
+                self._check_slot(frame, inst.a)
+                stack.append(frame.slots[inst.a])
+            elif op is Op.STOREF:
+                frame = frames[-1]
+                self._check_slot(frame, inst.a, grow=True)
+                frame.slots[inst.a] = self._pop(stack)
+            elif op in _BINOPS:
+                rhs = self._pop(stack)
+                lhs = self._pop(stack)
+                stack.append(_BINOPS[op](lhs, rhs))
+            elif op is Op.NEG:
+                stack.append(-self._pop(stack))
+            elif op is Op.NOT:
+                stack.append(0 if self._pop(stack) else 1)
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+            elif op is Op.POP:
+                self._pop(stack)
+            elif op is Op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op is Op.JMP:
+                pc = inst.a
+            elif op is Op.JZ:
+                if self._pop(stack) == 0:
+                    pc = inst.a
+            elif op is Op.JNZ:
+                if self._pop(stack) != 0:
+                    pc = inst.a
+            elif op is Op.CALL:
+                segno, code, pc = self._do_call(
+                    ctx, frames, stack, segno, pc,
+                    inst.a, inst.b, inst.c,
+                )
+            elif op is Op.CALLL:
+                target = self._resolve_link(ctx, inst.a)
+                segno, code, pc = self._do_call(
+                    ctx, frames, stack, segno, pc,
+                    target[0], target[1], inst.b,
+                )
+            elif op is Op.RET:
+                result = stack.pop() if stack else 0
+                frame = frames.pop()
+                ctx.ring = frame.return_ring
+                if not frames:
+                    return result
+                stack.append(result)
+                segno = frame.return_segno
+                code = ctx.code_segment(segno)
+                pc = frame.return_pc
+            elif op is Op.HALT:
+                return stack[-1] if stack else 0
+            else:  # pragma: no cover - enum is closed
+                raise IllegalInstruction(f"cannot execute {op!r}")
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _pop(stack: list[int]) -> int:
+        if not stack:
+            raise IllegalInstruction("operand stack underflow")
+        return stack.pop()
+
+    @staticmethod
+    def _check_slot(frame: _Frame, index: int, grow: bool = False) -> None:
+        if index < 0:
+            raise IllegalInstruction(f"negative frame slot {index}")
+        if index >= len(frame.slots):
+            if not grow or index >= 4096:
+                if not grow:
+                    raise IllegalInstruction(
+                        f"frame slot {index} not initialized"
+                    )
+                raise IllegalInstruction("frame too large")
+            frame.slots.extend([0] * (index + 1 - len(frame.slots)))
+
+    def _count_call(self, old_ring: int, new_ring: int) -> None:
+        if old_ring == new_ring:
+            self.calls_in_ring += 1
+        else:
+            self.calls_cross_ring += 1
+
+    def _do_call(
+        self,
+        ctx: MachineContext,
+        frames: list[_Frame],
+        stack: list[int],
+        caller_segno: int,
+        return_pc: int,
+        target_segno: int,
+        target_offset: int,
+        nargs: int,
+    ) -> tuple[int, CodeSegment, int]:
+        sdw = ctx.dseg.get(target_segno)
+        new_ring = call_check(sdw.brackets, ctx.ring, target_offset, sdw.gates)
+        self.cycles += call_cost(self.costs, self.ring_mode, ctx.ring, new_ring)
+        self._count_call(ctx.ring, new_ring)
+        if nargs > len(stack):
+            raise IllegalInstruction("not enough arguments on stack")
+        slots = stack[len(stack) - nargs:] if nargs else []
+        del stack[len(stack) - nargs:]
+        frames.append(
+            _Frame(caller_segno, return_pc, ctx.ring, list(slots), len(stack))
+        )
+        ctx.ring = new_ring
+        code = ctx.code_segment(target_segno)
+        return target_segno, code, target_offset
+
+    def _resolve_link(self, ctx: MachineContext, index: int) -> tuple[int, int]:
+        links = ctx.linkage()
+        if not 0 <= index < len(links):
+            raise IllegalInstruction(f"no linkage slot {index}")
+        link = links[index]
+        if not link.snapped:
+            if self.on_linkage_fault is None:
+                raise LinkageFault(index, link)
+            self.on_linkage_fault(ctx, index)
+            link = ctx.linkage()[index]
+            if not link.snapped:
+                raise LinkageFault(index, link)
+        return link.segno, link.offset
+
+
+_BINOPS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.DIV: lambda a, b: _div(a, b),
+    Op.MOD: lambda a, b: _mod(a, b),
+    Op.EQ: lambda a, b: int(a == b),
+    Op.NE: lambda a, b: int(a != b),
+    Op.LT: lambda a, b: int(a < b),
+    Op.LE: lambda a, b: int(a <= b),
+    Op.GT: lambda a, b: int(a > b),
+    Op.GE: lambda a, b: int(a >= b),
+}
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise IllegalInstruction("division by zero")
+    return int(a / b)  # truncate toward zero, like the hardware
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise IllegalInstruction("modulo by zero")
+    return a - _div(a, b) * b

@@ -1,0 +1,101 @@
+"""Interrupt controller.
+
+Devices raise interrupts on numbered lines.  The *interrupt
+interceptor* installed by the operating system decides what an
+interrupt becomes:
+
+* old design (:data:`repro.config.InterruptKind.IN_PROCESS`): the
+  handler body runs immediately, inhabiting whatever process happened
+  to be executing, with further interrupts masked for the duration;
+* new design (:data:`repro.config.InterruptKind.DEDICATED`): the
+  interceptor merely turns the interrupt into a wakeup of the
+  corresponding dedicated handler process (paper, "Another application
+  of parallelism...", E8).
+
+The controller itself only models lines, masking, and pending state;
+the two interception strategies live in
+:mod:`repro.proc.interrupt_procs`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hw.clock import Clock
+
+
+@dataclass
+class Interrupt:
+    """One interrupt occurrence."""
+
+    line: int
+    payload: object
+    raised_at: int
+
+
+class InterruptController:
+    """Models the 6180's interrupt cells: per-line pending queues and a
+    global mask."""
+
+    def __init__(self, clock: Clock, n_lines: int = 16) -> None:
+        if n_lines <= 0:
+            raise ValueError("need at least one interrupt line")
+        self.clock = clock
+        self.n_lines = n_lines
+        self._pending: deque[Interrupt] = deque()
+        self._masked = False
+        self._interceptor: Callable[[Interrupt], None] | None = None
+        # Statistics for E8.
+        self.raised = 0
+        self.delivered = 0
+        self.masked_cycles = 0
+        self._masked_since: int | None = None
+
+    def set_interceptor(self, fn: Callable[[Interrupt], None]) -> None:
+        """Install the OS's interrupt interceptor."""
+        self._interceptor = fn
+
+    @property
+    def masked(self) -> bool:
+        return self._masked
+
+    def mask(self) -> None:
+        """Inhibit interrupt delivery (handlers in the old design must
+        run masked because they borrow another process's environment)."""
+        if not self._masked:
+            self._masked = True
+            self._masked_since = self.clock.now
+
+    def unmask(self) -> None:
+        """Re-enable delivery and drain anything that arrived masked."""
+        if self._masked:
+            self._masked = False
+            if self._masked_since is not None:
+                self.masked_cycles += self.clock.now - self._masked_since
+                self._masked_since = None
+        self._drain()
+
+    def raise_line(self, line: int, payload: object = None) -> None:
+        """A device signals ``line``."""
+        if not 0 <= line < self.n_lines:
+            raise ValueError(f"no interrupt line {line}")
+        self.raised += 1
+        self._pending.append(Interrupt(line, payload, self.clock.now))
+        if not self._masked:
+            self._drain()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _drain(self) -> None:
+        if self._interceptor is None:
+            return
+        while self._pending and not self._masked:
+            interrupt = self._pending.popleft()
+            self.delivered += 1
+            # The interceptor may mask(), which stops the drain; the
+            # remaining interrupts wait for the matching unmask().
+            self._interceptor(interrupt)

@@ -1,0 +1,193 @@
+"""Three-level physical memory hierarchy: core, bulk store, disk.
+
+Multics moved pages among primary (core) memory, the bulk store (a fast
+drum used as a paging device), and disk.  Each :class:`MemoryLevel`
+manages a fixed population of page frames.  Frame *contents* are plain
+Python lists of ints standing in for 1024-word Multics pages.
+
+Security note: whether a frame is cleared when freed is configurable.
+Failing to clear frames is the classic "residue" flaw (reading another
+user's leftover data out of newly allocated storage); the penetration
+experiments (E11) exploit exactly this when clearing is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.errors import ReproError
+
+
+class OutOfFrames(ReproError):
+    """A memory level has no free frame.
+
+    Page control is responsible for never letting this surface to users;
+    seeing it escape is a bug in a page-control implementation.
+    """
+
+
+@dataclass
+class Frame:
+    """One page frame at some memory level."""
+
+    index: int
+    data: list[int] = field(default_factory=list)
+
+    def clear(self, page_size: int) -> None:
+        """Zero the frame (residue elimination)."""
+        self.data = [0] * page_size
+
+
+class MemoryLevel:
+    """A fixed pool of page frames with characteristic access latency."""
+
+    def __init__(
+        self,
+        name: str,
+        n_frames: int,
+        transfer_cost: int,
+        page_size: int,
+        clear_on_free: bool = True,
+    ) -> None:
+        if n_frames <= 0:
+            raise ValueError("a memory level needs at least one frame")
+        self.name = name
+        self.page_size = page_size
+        self.transfer_cost = transfer_cost
+        self.clear_on_free = clear_on_free
+        self._frames = [Frame(i, [0] * page_size) for i in range(n_frames)]
+        self._free: list[int] = list(range(n_frames - 1, -1, -1))
+        self._allocated: set[int] = set()
+        # Counters for the benches.
+        self.allocations = 0
+        self.frees = 0
+
+    # -- capacity --------------------------------------------------------
+
+    @property
+    def n_frames(self) -> int:
+        return len(self._frames)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_count(self) -> int:
+        return len(self._allocated)
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Take a free frame; raises :class:`OutOfFrames` when exhausted."""
+        if not self._free:
+            raise OutOfFrames(f"{self.name}: no free frames")
+        idx = self._free.pop()
+        self._allocated.add(idx)
+        self.allocations += 1
+        return idx
+
+    def free(self, idx: int) -> None:
+        """Return a frame to the free pool, clearing it if configured."""
+        if idx not in self._allocated:
+            raise ValueError(f"{self.name}: frame {idx} is not allocated")
+        self._allocated.remove(idx)
+        if self.clear_on_free:
+            self._frames[idx].clear(self.page_size)
+        self._free.append(idx)
+        self.frees += 1
+
+    def is_allocated(self, idx: int) -> bool:
+        return idx in self._allocated
+
+    # -- data access -----------------------------------------------------
+
+    def frame(self, idx: int) -> Frame:
+        return self._frames[idx]
+
+    def read(self, idx: int, offset: int) -> int:
+        """Read one word from an allocated frame."""
+        self._check(idx, offset)
+        return self._frames[idx].data[offset]
+
+    def write(self, idx: int, offset: int, value: int) -> None:
+        """Write one word into an allocated frame."""
+        self._check(idx, offset)
+        self._frames[idx].data[offset] = value
+
+    def read_page(self, idx: int) -> list[int]:
+        """Copy out the whole frame (used for page transfers)."""
+        if idx not in self._allocated:
+            raise ValueError(f"{self.name}: frame {idx} is not allocated")
+        return list(self._frames[idx].data)
+
+    def write_page(self, idx: int, data: list[int]) -> None:
+        """Replace the whole frame contents (used for page transfers)."""
+        if idx not in self._allocated:
+            raise ValueError(f"{self.name}: frame {idx} is not allocated")
+        if len(data) != self.page_size:
+            raise ValueError("page data has the wrong length")
+        self._frames[idx].data = list(data)
+
+    def _check(self, idx: int, offset: int) -> None:
+        if idx not in self._allocated:
+            raise ValueError(f"{self.name}: frame {idx} is not allocated")
+        if not 0 <= offset < self.page_size:
+            raise ValueError(f"{self.name}: offset {offset} out of page")
+
+
+class MemoryHierarchy:
+    """Core + bulk store + disk, with transfer bookkeeping.
+
+    Transfers are *instantaneous data moves* here; their latency is
+    charged by page control through the simulator (the hardware itself
+    has no notion of waiting).
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        costs = config.costs
+        clear = config.clear_freed_frames
+        self.page_size = config.page_size
+        self.core = MemoryLevel(
+            "core", config.core_frames, costs.core_access,
+            config.page_size, clear_on_free=clear,
+        )
+        self.bulk = MemoryLevel(
+            "bulk", config.bulk_frames, costs.bulk_transfer,
+            config.page_size, clear_on_free=clear,
+        )
+        self.disk = MemoryLevel(
+            "disk", config.disk_frames, costs.disk_transfer,
+            config.page_size, clear_on_free=clear,
+        )
+        #: (from_level, to_level) -> count, for the page-control benches.
+        self.transfer_counts: dict[tuple[str, str], int] = {}
+
+    def level(self, name: str) -> MemoryLevel:
+        try:
+            return {"core": self.core, "bulk": self.bulk, "disk": self.disk}[name]
+        except KeyError:
+            raise ValueError(f"unknown memory level {name!r}") from None
+
+    def transfer(
+        self, src: MemoryLevel, src_idx: int, dst: MemoryLevel
+    ) -> int:
+        """Move a page from ``src`` frame ``src_idx`` into a newly
+        allocated frame of ``dst``; frees the source frame.
+
+        Returns the destination frame index.  Raises
+        :class:`OutOfFrames` if ``dst`` is full — callers (page control)
+        must make room first.
+        """
+        dst_idx = dst.allocate()
+        dst.write_page(dst_idx, src.read_page(src_idx))
+        src.free(src_idx)
+        key = (src.name, dst.name)
+        self.transfer_counts[key] = self.transfer_counts.get(key, 0) + 1
+        return dst_idx
+
+    def transfer_cost(self, src: MemoryLevel, dst: MemoryLevel) -> int:
+        """Cycles a transfer between these two levels takes (the slower
+        of the two endpoints dominates)."""
+        return max(src.transfer_cost, dst.transfer_cost)

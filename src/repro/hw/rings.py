@@ -1,0 +1,140 @@
+"""Ring brackets and the effective-ring access rules.
+
+Implements the Multics ring semantics of Schroeder & Saltzer, "A
+Hardware Architecture for Implementing Protection Rings" (CACM 1972),
+which the paper relies on: each segment carries three ring numbers
+``r1 <= r2 <= r3``:
+
+* **write bracket** ``[0, r1]`` — rings that may write the segment;
+* **read bracket** ``[0, r2]`` — rings that may read it;
+* **execute bracket** ``[r1, r2]`` — rings in which it executes without
+  a ring change;
+* **call bracket** ``(r2, r3]`` — rings from which it may be *called*,
+  but only through a designated gate entry point, switching execution
+  to ring ``r2`` (an inward call).
+
+The module also carries the cost model distinguishing the Honeywell 645
+(rings simulated in software; cross-ring calls expensive) from the 6180
+(rings in hardware; cross-ring calls cost the same as in-ring calls),
+which is the enabling fact for the paper's removal programme (E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NUM_RINGS, CostModel, RingMode
+from repro.errors import AccessViolation, GateViolation
+
+
+@dataclass(frozen=True)
+class RingBrackets:
+    """The triple ``(r1, r2, r3)`` attached to a segment."""
+
+    r1: int
+    r2: int
+    r3: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.r1 <= self.r2 <= self.r3 < NUM_RINGS):
+            raise ValueError(
+                f"invalid ring brackets ({self.r1},{self.r2},{self.r3}): "
+                f"need 0 <= r1 <= r2 <= r3 < {NUM_RINGS}"
+            )
+
+    # -- predicates ------------------------------------------------------
+
+    def may_write(self, ring: int) -> bool:
+        """Ring is inside the write bracket."""
+        return 0 <= ring <= self.r1
+
+    def may_read(self, ring: int) -> bool:
+        """Ring is inside the read bracket."""
+        return 0 <= ring <= self.r2
+
+    def in_execute_bracket(self, ring: int) -> bool:
+        """Execution proceeds in the caller's own ring."""
+        return self.r1 <= ring <= self.r2
+
+    def in_call_bracket(self, ring: int) -> bool:
+        """Caller may only enter through a gate, switching to ring r2."""
+        return self.r2 < ring <= self.r3
+
+    def target_ring(self, ring: int) -> int:
+        """Ring in which execution proceeds after a call from ``ring``.
+
+        * within the execute bracket: unchanged;
+        * within the call bracket: drops inward to ``r2``;
+        * below ``r1`` (an outward call): rises to ``r1``.
+
+        Raises :class:`AccessViolation` when ``ring > r3``.
+        """
+        if self.in_execute_bracket(ring):
+            return ring
+        if self.in_call_bracket(ring):
+            return self.r2
+        if ring < self.r1:
+            return self.r1
+        raise AccessViolation(
+            f"ring {ring} is outside the call bracket {self!r}"
+        )
+
+    def __repr__(self) -> str:  # compact, used in fault messages
+        return f"({self.r1},{self.r2},{self.r3})"
+
+
+#: Brackets for a pure kernel-internal segment: usable only from ring 0.
+KERNEL_ONLY = RingBrackets(0, 0, 0)
+
+
+def kernel_gate_brackets(highest_caller: int = NUM_RINGS - 1) -> RingBrackets:
+    """Brackets for a kernel segment callable (via gates) from user rings."""
+    return RingBrackets(0, 0, highest_caller)
+
+
+def user_brackets(ring: int) -> RingBrackets:
+    """Brackets for an ordinary segment owned by code in ``ring``."""
+    return RingBrackets(ring, ring, ring)
+
+
+def call_check(
+    brackets: RingBrackets,
+    caller_ring: int,
+    entry_offset: int,
+    gate_entries: frozenset[int] | None,
+) -> int:
+    """Validate a CALL and return the ring execution continues in.
+
+    ``gate_entries`` is the set of legitimate gate entry offsets recorded
+    in the SDW (None means the segment has no gates at all).  An inward
+    call that does not land exactly on a gate is a :class:`GateViolation`
+    — this is the hardware check that makes the kernel's perimeter
+    exactly its declared gate list.
+    """
+    new_ring = brackets.target_ring(caller_ring)
+    if brackets.in_call_bracket(caller_ring):
+        if not gate_entries or entry_offset not in gate_entries:
+            raise GateViolation(
+                f"inward call from ring {caller_ring} to offset "
+                f"{entry_offset} is not a declared gate"
+            )
+    return new_ring
+
+
+def call_cost(
+    costs: CostModel, ring_mode: RingMode, caller_ring: int, new_ring: int
+) -> int:
+    """Cycles charged for a call, given the machine's ring implementation.
+
+    On the 645 every ring crossing trapped to the software ring
+    simulator; on the 6180 the hardware validates the crossing in-line,
+    so a cross-ring call costs no more than an in-ring call (the paper's
+    E4 claim).
+    """
+    cost = costs.call_in_ring
+    if caller_ring != new_ring:
+        if ring_mode is RingMode.SOFTWARE_645:
+            cost += costs.cross_ring_penalty_645
+        else:
+            cost += costs.cross_ring_penalty_6180
+    return cost

@@ -1,0 +1,227 @@
+"""Segmentation hardware: SDWs, descriptor segments, PTWs, translation.
+
+Every reference by the simulated CPU passes through
+:func:`translate`, which enforces, in order:
+
+1. a valid SDW exists for the segment number (else segment fault);
+2. the reference is inside the segment's bound (else bounds violation);
+3. the executing ring and the SDW's access/brackets permit the intent
+   (else access violation) — this is the hardware half of the
+   reference monitor;
+4. the page is in core (else missing-page fault, serviced by page
+   control).
+
+Nothing above the hardware can bypass this path; the kernel differs
+from user code only in the SDWs its descriptor segment contains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    AccessViolation,
+    BoundsViolation,
+    MissingPageFault,
+    SegmentFault,
+)
+from repro.hw.rings import RingBrackets
+
+
+class AccessMode(enum.Flag):
+    """Permission bits recorded in an SDW (and in ACL entries)."""
+
+    NONE = 0
+    R = enum.auto()
+    E = enum.auto()
+    W = enum.auto()
+    RW = R | W
+    RE = R | E
+    REW = R | E | W
+
+    @classmethod
+    def from_string(cls, text: str) -> "AccessMode":
+        """Parse Multics-style mode strings like ``"rw"`` or ``"re"``."""
+        mode = cls.NONE
+        for ch in text.lower():
+            if ch == "r":
+                mode |= cls.R
+            elif ch == "e":
+                mode |= cls.E
+            elif ch == "w":
+                mode |= cls.W
+            elif ch in ("n", " "):
+                continue
+            else:
+                raise ValueError(f"unknown access mode character {ch!r}")
+        return mode
+
+    def to_string(self) -> str:
+        out = ""
+        if self & AccessMode.R:
+            out += "r"
+        if self & AccessMode.E:
+            out += "e"
+        if self & AccessMode.W:
+            out += "w"
+        return out or "n"
+
+
+class Intent(enum.Enum):
+    """What a reference is trying to do."""
+
+    READ = "read"
+    WRITE = "write"
+    FETCH = "fetch"  #: instruction fetch
+
+
+@dataclass
+class PTW:
+    """Page table word: core-residence state of one page.
+
+    ``used`` and ``modified`` are the hardware-maintained bits that
+    replacement policies sample (through gates, in the new design — E7).
+    """
+
+    in_core: bool = False
+    frame: int | None = None
+    used: bool = False
+    modified: bool = False
+
+    def place(self, frame: int) -> None:
+        self.in_core = True
+        self.frame = frame
+        self.used = False
+        self.modified = False
+
+    def evict(self) -> None:
+        self.in_core = False
+        self.frame = None
+
+
+@dataclass
+class SDW:
+    """Segment descriptor word as seen by one process.
+
+    The access mode and brackets here are *per-process*: the kernel sets
+    them from the branch ACL when the segment is added to the process's
+    address space, so hardware enforcement and the file-system access
+    model coincide.
+    """
+
+    segno: int
+    access: AccessMode
+    brackets: RingBrackets
+    page_table: list[PTW] = field(default_factory=list)
+    bound: int = 0
+    #: Legal gate entry offsets for inward calls, or None if no gates.
+    gates: frozenset[int] | None = None
+    #: Opaque link back to the owning file-system object (UID).
+    uid: int | None = None
+
+    def n_pages(self) -> int:
+        return len(self.page_table)
+
+
+class DescriptorSegment:
+    """The per-process table mapping segment numbers to SDWs."""
+
+    def __init__(self) -> None:
+        self._sdws: dict[int, SDW] = {}
+
+    def add(self, sdw: SDW) -> None:
+        if sdw.segno in self._sdws:
+            raise ValueError(f"segment number {sdw.segno} already in use")
+        self._sdws[sdw.segno] = sdw
+
+    def remove(self, segno: int) -> SDW:
+        try:
+            return self._sdws.pop(segno)
+        except KeyError:
+            raise SegmentFault(segno, f"segment {segno} not in address space") from None
+
+    def get(self, segno: int) -> SDW:
+        try:
+            return self._sdws[segno]
+        except KeyError:
+            raise SegmentFault(segno) from None
+
+    def maybe(self, segno: int) -> SDW | None:
+        return self._sdws.get(segno)
+
+    def __contains__(self, segno: int) -> bool:
+        return segno in self._sdws
+
+    def __iter__(self):
+        return iter(self._sdws.values())
+
+    def __len__(self) -> int:
+        return len(self._sdws)
+
+    def segnos(self) -> list[int]:
+        return sorted(self._sdws)
+
+
+def check_access(sdw: SDW, ring: int, intent: Intent) -> None:
+    """Raise :class:`AccessViolation` unless ``ring`` may perform
+    ``intent`` on the segment described by ``sdw``."""
+    if intent is Intent.READ:
+        if not (sdw.access & AccessMode.R and sdw.brackets.may_read(ring)):
+            raise AccessViolation(
+                f"ring {ring} may not read segment {sdw.segno} "
+                f"(access {sdw.access.to_string()}, brackets {sdw.brackets!r})"
+            )
+    elif intent is Intent.WRITE:
+        if not (sdw.access & AccessMode.W and sdw.brackets.may_write(ring)):
+            raise AccessViolation(
+                f"ring {ring} may not write segment {sdw.segno} "
+                f"(access {sdw.access.to_string()}, brackets {sdw.brackets!r})"
+            )
+    elif intent is Intent.FETCH:
+        if not sdw.access & AccessMode.E:
+            raise AccessViolation(
+                f"segment {sdw.segno} is not executable"
+            )
+        # Ring legality of execution is established at CALL time by
+        # rings.call_check; a fetch in a ring outside the execute
+        # bracket means the call machinery was bypassed.
+        if not (
+            sdw.brackets.in_execute_bracket(ring)
+            or sdw.brackets.in_call_bracket(ring)
+        ):
+            raise AccessViolation(
+                f"ring {ring} may not execute segment {sdw.segno} "
+                f"(brackets {sdw.brackets!r})"
+            )
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown intent {intent!r}")
+
+
+def translate(
+    dseg: DescriptorSegment,
+    segno: int,
+    offset: int,
+    ring: int,
+    intent: Intent,
+    page_size: int,
+) -> tuple[int, int]:
+    """Full address translation; returns ``(core_frame, word_offset)``.
+
+    Raises the appropriate hardware fault when translation cannot
+    complete.  Marks the PTW used (and modified, for writes) on success.
+    """
+    sdw = dseg.get(segno)
+    if offset < 0 or offset >= sdw.bound:
+        raise BoundsViolation(
+            f"offset {offset} outside bound {sdw.bound} of segment {segno}"
+        )
+    check_access(sdw, ring, intent)
+    pageno = offset // page_size
+    ptw = sdw.page_table[pageno]
+    if not ptw.in_core or ptw.frame is None:
+        raise MissingPageFault(segno, pageno)
+    ptw.used = True
+    if intent is Intent.WRITE:
+        ptw.modified = True
+    return ptw.frame, offset % page_size

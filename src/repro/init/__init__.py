@@ -1,0 +1,22 @@
+"""System initialization, both ways (experiment E10).
+
+* :mod:`repro.init.bootstrap` — the old way: "the system bootstrap[s]
+  itself in a complex way each time it is loaded", every step running
+  with full privilege inside the kernel.
+* :mod:`repro.init.image` — the paper's proposal: "produce on a system
+  tape a bit pattern which, when loaded into memory, manifests a fully
+  initialized system."  The steps run once, in a *user* environment of
+  a previous system, and boot reduces to load-and-go.
+"""
+
+from repro.init.bootstrap import BootstrapInitializer, InitStep, standard_steps
+from repro.init.image import ImageBuilder, SystemImage, boot_from_image
+
+__all__ = [
+    "BootstrapInitializer",
+    "InitStep",
+    "standard_steps",
+    "ImageBuilder",
+    "SystemImage",
+    "boot_from_image",
+]

@@ -1,0 +1,35 @@
+"""I/O: devices, the network attachment, and the two buffering designs.
+
+The paper's simplification projects here:
+
+* replace the zoo of per-device kernel mechanisms (terminals, tapes,
+  card readers/punches, printers) with a single network attachment as
+  the only path for external I/O;
+* replace the circular network input buffer (with its
+  old-messages-not-removed-before-a-complete-circuit bug) with a
+  VM-backed buffer that appears infinite (experiment E6).
+"""
+
+from repro.io.buffers import CircularBuffer, InfiniteVMBuffer
+from repro.io.devices import (
+    CardPunch,
+    CardReader,
+    Device,
+    LinePrinter,
+    TapeDrive,
+    Terminal,
+)
+from repro.io.network import NetworkAttachment, TrafficPattern
+
+__all__ = [
+    "CircularBuffer",
+    "InfiniteVMBuffer",
+    "Device",
+    "Terminal",
+    "TapeDrive",
+    "CardReader",
+    "CardPunch",
+    "LinePrinter",
+    "NetworkAttachment",
+    "TrafficPattern",
+]

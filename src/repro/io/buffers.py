@@ -1,0 +1,138 @@
+"""The two network input-buffering designs (experiment E6).
+
+Old design — :class:`CircularBuffer`: a fixed-size ring "which had to
+be used over and over again, with attendant problems of old messages
+not being removed before a complete circuit of the buffer was made."
+When the writer laps the reader, unconsumed messages are overwritten
+and lost; the consumer can also observe *stale* data if it trusts a
+lapped slot.
+
+New design — :class:`InfiniteVMBuffer`: "by utilizing the virtual
+memory, provides a core resident buffer which appears to be of infinite
+length."  Appending allocates fresh pages through the ordinary segment
+machinery; nothing is ever overwritten, so no message can be lost to
+lapping, and the special-purpose storage management disappears (the
+virtual memory *is* the storage manager).
+
+Both expose the same ``put`` / ``get`` interface so the benches swap
+them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BufferStats:
+    puts: int = 0
+    gets: int = 0
+    #: Messages destroyed by the writer lapping the reader.
+    overwrites: int = 0
+    #: Gets that returned nothing.
+    underruns: int = 0
+    #: High-water mark of queued messages.
+    peak_queue: int = 0
+
+
+class CircularBuffer:
+    """Fixed-capacity ring; the writer never blocks, it *laps*."""
+
+    kind = "circular"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: list[object | None] = [None] * capacity
+        self._write = 0  # next slot to write
+        self._read = 0   # next slot to read
+        self._count = 0  # unconsumed messages
+        self.stats = BufferStats()
+
+    def put(self, message: object) -> bool:
+        """Insert a message; returns False if an old one was destroyed."""
+        self.stats.puts += 1
+        clean = True
+        if self._count == self.capacity:
+            # A complete circuit: the oldest unread message is destroyed.
+            self._read = (self._read + 1) % self.capacity
+            self._count -= 1
+            self.stats.overwrites += 1
+            clean = False
+        self._slots[self._write] = message
+        self._write = (self._write + 1) % self.capacity
+        self._count += 1
+        self.stats.peak_queue = max(self.stats.peak_queue, self._count)
+        return clean
+
+    def get(self) -> object | None:
+        """Remove and return the oldest message, or None if empty."""
+        if self._count == 0:
+            self.stats.underruns += 1
+            return None
+        message = self._slots[self._read]
+        self._slots[self._read] = None
+        self._read = (self._read + 1) % self.capacity
+        self._count -= 1
+        self.stats.gets += 1
+        return message
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def lost(self) -> int:
+        return self.stats.overwrites
+
+
+class InfiniteVMBuffer:
+    """Append-only buffer backed by (simulated) virtual memory.
+
+    ``page_hook``, when provided, is called whenever another page's
+    worth of messages has been appended — the system facade wires it to
+    real segment growth so buffer storage is accounted like any other
+    VM use (that reuse is the whole simplification).
+    """
+
+    kind = "infinite"
+
+    def __init__(self, messages_per_page: int = 16, page_hook=None) -> None:
+        if messages_per_page <= 0:
+            raise ValueError("messages_per_page must be positive")
+        self.messages_per_page = messages_per_page
+        self.page_hook = page_hook
+        self._messages: list[object] = []
+        self._read = 0
+        self.pages_allocated = 0
+        self.stats = BufferStats()
+
+    def put(self, message: object) -> bool:
+        """Append; always clean — nothing is ever overwritten."""
+        self.stats.puts += 1
+        self._messages.append(message)
+        queued = len(self._messages) - self._read
+        self.stats.peak_queue = max(self.stats.peak_queue, queued)
+        if len(self._messages) % self.messages_per_page == 1:
+            self.pages_allocated += 1
+            if self.page_hook is not None:
+                self.page_hook()
+        return True
+
+    def get(self) -> object | None:
+        if self._read >= len(self._messages):
+            self.stats.underruns += 1
+            return None
+        message = self._messages[self._read]
+        self._read += 1
+        self.stats.gets += 1
+        # Consumed prefixes could be returned to the VM; the census
+        # keeps them for replay-freedom checks in tests.
+        return message
+
+    def __len__(self) -> int:
+        return len(self._messages) - self._read
+
+    @property
+    def lost(self) -> int:
+        return 0

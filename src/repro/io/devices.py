@@ -1,0 +1,187 @@
+"""Peripheral device models for the legacy I/O path.
+
+Each device is a small state machine: attach/detach discipline, a
+transfer latency, and an interrupt line it raises on completion.  The
+legacy supervisor carries one kernel mechanism (gate family + handler
+state) per device class — exactly the bulk the paper proposes to
+replace with the single network attachment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import InvalidArgument
+from repro.hw.clock import Simulator
+from repro.hw.interrupts import InterruptController
+
+
+class Device:
+    """Base device: attach discipline + completion interrupts."""
+
+    device_class = "device"
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        interrupts: InterruptController,
+        line: int,
+        latency: int = 50,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.interrupts = interrupts
+        self.line = line
+        self.latency = latency
+        self.attached_by: int | None = None  # pid
+        self.operations = 0
+
+    def attach(self, pid: int) -> None:
+        if self.attached_by is not None and self.attached_by != pid:
+            raise InvalidArgument(
+                f"{self.name} is attached by process {self.attached_by}"
+            )
+        self.attached_by = pid
+
+    def detach(self, pid: int) -> None:
+        if self.attached_by != pid:
+            raise InvalidArgument(f"{self.name} is not attached by {pid}")
+        self.attached_by = None
+
+    def _require_attached(self, pid: int) -> None:
+        if self.attached_by != pid:
+            raise InvalidArgument(
+                f"{self.name}: process {pid} has not attached the device"
+            )
+
+    def _complete(self, payload: object = None) -> None:
+        """Schedule the completion interrupt."""
+        self.operations += 1
+        self.sim.schedule(
+            self.latency,
+            lambda: self.interrupts.raise_line(self.line, payload),
+        )
+
+
+class Terminal(Device):
+    """A remote-access terminal: typed input queue, printed output."""
+
+    device_class = "terminal"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._input: deque[str] = deque()
+        self.output: list[str] = []
+
+    def type_line(self, line: str) -> None:
+        """The (simulated) human types a line."""
+        self._input.append(line)
+        self._complete(("input_ready", self.name))
+
+    def read_line(self, pid: int) -> str | None:
+        self._require_attached(pid)
+        self.operations += 1
+        return self._input.popleft() if self._input else None
+
+    def write_line(self, pid: int, line: str) -> None:
+        self._require_attached(pid)
+        self.output.append(line)
+        self._complete(("write_done", self.name))
+
+
+class TapeDrive(Device):
+    """Sequential-access tape: records, positioned by a head."""
+
+    device_class = "tape"
+
+    def __init__(self, *args, latency: int = 200, **kwargs) -> None:
+        super().__init__(*args, latency=latency, **kwargs)
+        self.records: list[list[int]] = []
+        self.position = 0
+
+    def mount(self, records: list[list[int]]) -> None:
+        self.records = [list(r) for r in records]
+        self.position = 0
+
+    def rewind(self, pid: int) -> None:
+        self._require_attached(pid)
+        self.position = 0
+        self._complete(("rewound", self.name))
+
+    def read_record(self, pid: int) -> list[int] | None:
+        self._require_attached(pid)
+        if self.position >= len(self.records):
+            return None
+        record = self.records[self.position]
+        self.position += 1
+        self._complete(("read_done", self.name))
+        return list(record)
+
+    def write_record(self, pid: int, record: list[int]) -> None:
+        self._require_attached(pid)
+        del self.records[self.position:]
+        self.records.append(list(record))
+        self.position = len(self.records)
+        self._complete(("write_done", self.name))
+
+
+class CardReader(Device):
+    """Reads a deck, one 80-column card at a time."""
+
+    device_class = "card_reader"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._deck: deque[str] = deque()
+
+    def load_deck(self, cards: list[str]) -> None:
+        for card in cards:
+            if len(card) > 80:
+                raise InvalidArgument("a card holds at most 80 columns")
+        self._deck.extend(cards)
+
+    def read_card(self, pid: int) -> str | None:
+        self._require_attached(pid)
+        self._complete(("card_read", self.name))
+        return self._deck.popleft() if self._deck else None
+
+
+class CardPunch(Device):
+    """Punches cards into an output stacker."""
+
+    device_class = "card_punch"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.stacker: list[str] = []
+
+    def punch_card(self, pid: int, card: str) -> None:
+        self._require_attached(pid)
+        if len(card) > 80:
+            raise InvalidArgument("a card holds at most 80 columns")
+        self.stacker.append(card)
+        self._complete(("card_punched", self.name))
+
+
+class LinePrinter(Device):
+    """Prints lines onto paper (a list of pages of lines)."""
+
+    device_class = "printer"
+
+    LINES_PER_PAGE = 60
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.pages: list[list[str]] = [[]]
+
+    def print_line(self, pid: int, line: str) -> None:
+        self._require_attached(pid)
+        if len(self.pages[-1]) >= self.LINES_PER_PAGE:
+            self.pages.append([])
+        self.pages[-1].append(line)
+        self._complete(("printed", self.name))
+
+    @property
+    def lines_printed(self) -> int:
+        return sum(len(page) for page in self.pages)

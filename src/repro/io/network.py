@@ -1,0 +1,132 @@
+"""The ARPA network attachment — the single external I/O path.
+
+In the minimized kernel, "network technology ... provide[s] the only
+path for external I/O to Multics": terminals, card decks, and print
+streams all arrive and depart as network messages, and the kernel
+keeps exactly one device mechanism instead of five.
+
+The attachment feeds an input buffer (circular or infinite, per
+configuration — experiment E6) and raises one interrupt line for
+arrivals.  :class:`TrafficPattern` generates the bursty workloads the
+buffer experiment sweeps over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.clock import Simulator
+from repro.hw.interrupts import InterruptController
+from repro.io.buffers import CircularBuffer, InfiniteVMBuffer
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    seq: int
+    host: str
+    body: str
+
+
+class NetworkAttachment:
+    """The kernel's one external-I/O mechanism."""
+
+    device_class = "network"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interrupts: InterruptController,
+        line: int,
+        buffer: CircularBuffer | InfiniteVMBuffer,
+        latency: int = 20,
+    ) -> None:
+        self.sim = sim
+        self.interrupts = interrupts
+        self.line = line
+        self.buffer = buffer
+        self.latency = latency
+        self._seq = 0
+        self.sent: list[Message] = []
+        self.received_count = 0
+
+    # -- inbound ------------------------------------------------------------
+
+    def deliver(self, host: str, body: str) -> Message:
+        """A message arrives from the network (device side)."""
+        self._seq += 1
+        message = Message(self._seq, host, body)
+        self.buffer.put(message)
+        self.received_count += 1
+        self.sim.schedule(
+            self.latency,
+            lambda: self.interrupts.raise_line(self.line, ("net_input", None)),
+        )
+        return message
+
+    def receive(self) -> Message | None:
+        """The kernel reads the next buffered message."""
+        message = self.buffer.get()
+        return message  # type: ignore[return-value]
+
+    # -- outbound -----------------------------------------------------------
+
+    def send(self, host: str, body: str) -> Message:
+        self._seq += 1
+        message = Message(self._seq, host, body)
+        self.sent.append(message)
+        return message
+
+    # -- health ----------------------------------------------------------------
+
+    @property
+    def messages_lost(self) -> int:
+        return self.buffer.lost
+
+    @property
+    def backlog(self) -> int:
+        return len(self.buffer)
+
+
+class TrafficPattern:
+    """Deterministic bursty traffic for the buffer experiment.
+
+    ``burst_size`` messages arrive back-to-back every ``burst_gap``
+    cycles; the consumer drains at its own pace.  A linear-congruential
+    generator varies message bodies so content checks are meaningful
+    without nondeterminism.
+    """
+
+    def __init__(self, burst_size: int, burst_gap: int, n_bursts: int, seed: int = 1) -> None:
+        if burst_size <= 0 or n_bursts <= 0 or burst_gap < 0:
+            raise ValueError("bad traffic pattern parameters")
+        self.burst_size = burst_size
+        self.burst_gap = burst_gap
+        self.n_bursts = n_bursts
+        self._state = seed or 1
+
+    def _next(self) -> int:
+        self._state = (self._state * 1103515245 + 12345) % (2**31)
+        return self._state
+
+    def total_messages(self) -> int:
+        return self.burst_size * self.n_bursts
+
+    def schedule_into(self, net: NetworkAttachment) -> None:
+        """Schedule every arrival into the simulator."""
+        for burst in range(self.n_bursts):
+            base = burst * self.burst_gap
+            for k in range(self.burst_size):
+                body = f"b{burst}m{k}x{self._next() % 9973}"
+                net.sim.schedule_at(
+                    net.sim.clock.now + base,
+                    lambda b=body: net.deliver("remote-host", b),
+                )
+
+    @staticmethod
+    def drain_rate_for_loss_free(burst_size: int, capacity: int) -> bool:
+        """Whether a circular buffer of ``capacity`` can absorb a burst
+        of ``burst_size`` with no consumption in between."""
+        return burst_size <= capacity

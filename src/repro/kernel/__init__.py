@@ -1,0 +1,17 @@
+"""The protected supervisors.
+
+* :mod:`repro.kernel.gates` — the gate registry: every protected entry
+  point is declared, ring-checked, and argument-validated here.
+* :mod:`repro.kernel.kernel` — the **security kernel**: the paper's
+  minimized supervisor.
+* :mod:`repro.kernel.legacy` — the **legacy supervisor**: the "before"
+  system, with the linker, reference naming, search rules, device I/O,
+  and login all inside the protected perimeter.
+* :mod:`repro.kernel.metrics` — gate censuses and protected-code size
+  measurement for experiments E1-E3.
+"""
+
+from repro.kernel.gates import Gate, GateTable
+from repro.kernel.services import KernelServices, build_services
+
+__all__ = ["Gate", "GateTable", "KernelServices", "build_services"]

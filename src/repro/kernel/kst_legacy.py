@@ -1,0 +1,193 @@
+"""The *unsplit* known segment table — legacy address-space management.
+
+Before Bratt's removal project, the KST was "a data base central to the
+management of the address space" that mixed the kernel-necessary
+mapping (segment number ↔ file-system object) with purely private
+naming state: the tree name each segment was initiated by, the chain of
+reference names bound to it, initiate counts, per-entry switches.  All
+of it lived in ring 0 and all of its management code was protected.
+
+This module reproduces that structure and its management operations for
+the legacy supervisor.  The contrast with the split design —
+:mod:`repro.fs.kst` (the surviving common half) plus
+:mod:`repro.user.refnames` (the evicted private half) — is what
+experiment E3 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidArgument, NoSuchEntry
+
+FIRST_USER_SEGNO = 8
+
+
+@dataclass
+class LegacyKstEntry:
+    """One unsplit KST entry: mapping *and* naming state together."""
+
+    segno: int
+    uid: int
+    is_directory: bool = False
+    #: The tree name the segment was first initiated by.
+    pathname: str = ""
+    #: Reference names bound to this entry (ordered chain).
+    refnames: list[str] = field(default_factory=list)
+    #: How many initiations are outstanding (terminate decrements).
+    initiate_count: int = 0
+    #: Multics per-entry switches.
+    copy_switch: bool = False
+    transparent_usage: bool = False
+
+
+class LegacyKnownSegmentTable:
+    """The unsplit table plus every management operation it needs."""
+
+    def __init__(self, first_segno: int = FIRST_USER_SEGNO, capacity: int = 4096):
+        self.first_segno = first_segno
+        self.capacity = capacity
+        self._by_segno: dict[int, LegacyKstEntry] = {}
+        self._by_uid: dict[int, LegacyKstEntry] = {}
+        self._by_refname: dict[str, LegacyKstEntry] = {}
+        self._by_pathname: dict[str, LegacyKstEntry] = {}
+        self._next = first_segno
+
+    # -- initiation ------------------------------------------------------------
+
+    def initiate(
+        self,
+        uid: int,
+        pathname: str = "",
+        refname: str | None = None,
+        is_directory: bool = False,
+        segno: int | None = None,
+    ) -> tuple[int, bool]:
+        """Map (or re-map) a UID; binds the refname; bumps the count.
+
+        ``segno`` may be supplied when the segment-number choice is made
+        elsewhere (the shared descriptor-segment machinery); otherwise
+        the table allocates one.
+        """
+        entry = self._by_uid.get(uid)
+        fresh = entry is None
+        if entry is None:
+            if len(self._by_segno) >= self.capacity:
+                raise InvalidArgument("known segment table is full")
+            if segno is None:
+                segno = self._allocate_segno()
+            elif segno in self._by_segno:
+                raise InvalidArgument(f"segment number {segno} already known")
+            entry = LegacyKstEntry(
+                segno=segno,
+                uid=uid,
+                is_directory=is_directory,
+                pathname=pathname,
+            )
+            self._by_segno[segno] = entry
+            self._by_uid[uid] = entry
+            if pathname:
+                self._by_pathname[pathname] = entry
+        entry.initiate_count += 1
+        if refname is not None:
+            self.bind_refname(entry.segno, refname)
+        return entry.segno, not fresh
+
+    def _allocate_segno(self) -> int:
+        while self._next in self._by_segno:
+            self._next += 1
+        segno = self._next
+        self._next += 1
+        return segno
+
+    # -- reference-name chain management ---------------------------------------
+
+    def bind_refname(self, segno: int, refname: str) -> None:
+        entry = self.entry(segno)
+        if refname in self._by_refname:
+            raise InvalidArgument(f"reference name {refname!r} already bound")
+        entry.refnames.append(refname)
+        self._by_refname[refname] = entry
+
+    def unbind_refname(self, refname: str) -> int:
+        entry = self._by_refname.pop(refname, None)
+        if entry is None:
+            raise NoSuchEntry(f"no reference name {refname!r}")
+        entry.refnames.remove(refname)
+        return entry.segno
+
+    def refname_entry(self, refname: str) -> LegacyKstEntry:
+        entry = self._by_refname.get(refname)
+        if entry is None:
+            raise NoSuchEntry(f"no reference name {refname!r}")
+        return entry
+
+    def refnames_of(self, segno: int) -> list[str]:
+        return list(self.entry(segno).refnames)
+
+    def all_refnames(self) -> list[tuple[str, int]]:
+        return sorted(
+            (name, entry.segno) for name, entry in self._by_refname.items()
+        )
+
+    # -- termination ----------------------------------------------------------
+
+    def terminate(self, segno: int, force: bool = False) -> int | None:
+        """Decrement the initiate count; unmap when it reaches zero.
+
+        Returns the UID when the entry is actually removed, else None.
+        """
+        entry = self.entry(segno)
+        entry.initiate_count -= 1
+        if entry.initiate_count > 0 and not force:
+            return None
+        for refname in list(entry.refnames):
+            self._by_refname.pop(refname, None)
+        if entry.pathname:
+            self._by_pathname.pop(entry.pathname, None)
+        del self._by_segno[segno]
+        del self._by_uid[entry.uid]
+        return entry.uid
+
+    def terminate_all(self) -> int:
+        count = len(self._by_segno)
+        self._by_segno.clear()
+        self._by_uid.clear()
+        self._by_refname.clear()
+        self._by_pathname.clear()
+        return count
+
+    # -- queries --------------------------------------------------------------
+
+    def entry(self, segno: int) -> LegacyKstEntry:
+        entry = self._by_segno.get(segno)
+        if entry is None:
+            raise NoSuchEntry(f"segment number {segno} is not known")
+        return entry
+
+    def uid_of(self, segno: int) -> int:
+        return self.entry(segno).uid
+
+    def segno_of(self, uid: int) -> int:
+        entry = self._by_uid.get(uid)
+        if entry is None:
+            raise NoSuchEntry(f"uid {uid} is not known")
+        return entry.segno
+
+    def is_known(self, uid: int) -> bool:
+        return uid in self._by_uid
+
+    def pathname_of(self, segno: int) -> str:
+        return self.entry(segno).pathname
+
+    def by_pathname(self, pathname: str) -> LegacyKstEntry | None:
+        return self._by_pathname.get(pathname)
+
+    def set_copy_switch(self, segno: int, on: bool) -> None:
+        self.entry(segno).copy_switch = on
+
+    def entries(self) -> list[LegacyKstEntry]:
+        return sorted(self._by_segno.values(), key=lambda e: e.segno)
+
+    def __len__(self) -> int:
+        return len(self._by_segno)

@@ -1,0 +1,77 @@
+"""The legacy supervisor — the "before" system.
+
+Everything the security kernel exports, *plus* the gate families the
+removal projects later evicted: the dynamic linker (10 gates), naming /
+reference names / search rules (23 gates), the per-device I/O
+mechanisms (11 gates), and the in-kernel answering service (6 gates).
+
+It is a complete, working supervisor: the before/after benches run the
+same workloads against both systems, so every census difference is a
+difference between two running programs.
+"""
+
+from __future__ import annotations
+
+from repro.config import SupervisorKind, SystemConfig
+from repro.kernel.fs_gates import fs_gates
+from repro.kernel.io_gates import legacy_device_gates, network_gates
+from repro.kernel.kernel import Supervisor
+from repro.kernel.linker_kernel import linker_gates
+from repro.kernel.login_kernel import login_gates
+from repro.kernel.naming_kernel import naming_gates
+from repro.kernel.proc_gates import proc_gates
+from repro.kernel.services import KernelServices
+
+
+class LegacySupervisor(Supervisor):
+    """The full-perimeter supervisor the paper starts from."""
+
+    kind = SupervisorKind.LEGACY
+
+    def _register_gates(self) -> None:
+        self.gates.register_all(fs_gates())
+        self.gates.register_all(proc_gates())
+        self.gates.register_all(network_gates())
+        self.gates.register_all(legacy_device_gates())
+        self.gates.register_all(linker_gates())
+        self.gates.register_all(naming_gates())
+        self.gates.register_all(login_gates())
+
+    def protected_modules(self) -> list:
+        import repro.io.buffers
+        import repro.io.devices
+        import repro.kernel.kst_legacy
+        import repro.kernel.linker_kernel
+        import repro.kernel.login_kernel
+        import repro.kernel.naming_kernel
+        import repro.user.object_format
+
+        return super().protected_modules() + [
+            repro.kernel.kst_legacy,
+            repro.kernel.linker_kernel,
+            repro.kernel.naming_kernel,
+            repro.kernel.login_kernel,
+            repro.io.devices,
+            repro.io.buffers,
+            # The object-format parser executes in ring 0 here (the
+            # linker's input); in the new system it is user-ring code.
+            repro.user.object_format,
+        ]
+
+    def address_space_components(self) -> list:
+        """Legacy address-space management: the minimal KST machinery
+        *plus* the unsplit KST and the whole in-kernel naming apparatus
+        (E3's 'before')."""
+        import repro.kernel.kst_legacy
+        import repro.kernel.naming_kernel
+
+        return super().address_space_components() + [
+            repro.kernel.kst_legacy,
+            repro.kernel.naming_kernel,
+        ]
+
+
+def build_legacy(config: SystemConfig | None = None) -> LegacySupervisor:
+    config = config or SystemConfig()
+    config.supervisor = SupervisorKind.LEGACY
+    return LegacySupervisor(KernelServices(config))

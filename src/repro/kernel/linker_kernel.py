@@ -1,0 +1,191 @@
+"""The legacy in-kernel dynamic linker (removed by project E1).
+
+"In a project now completed the functions of dynamic intersegment
+linking and directing the search of the file system to satisfy a
+symbolic reference have been removed from the supervisor.  ...  The
+vulnerability is a result of the linker having to accept
+user-constructed code segments as input data; the chances of such a
+complex 'argument', if maliciously malstructured, causing the linker to
+malfunction while executing in the supervisor were demonstrated to be
+very high by numerous accidents.  The complexity is apparent in that
+the linker's removal eliminated 10% of the gate entry points into the
+supervisor."
+
+These ten gates are that 10%.  ``lk_make_linkage`` parses the object
+segment *in ring 0* with the period-faithful trusting decoder — the
+vulnerability the paper describes.  A malformed object segment drives
+the supervisor into a fault (counted as a supervisor incident by the
+gate table); the user-ring replacement (:mod:`repro.user.linker`)
+parses the same bytes defensively in the user's own ring, where a parse
+failure damages nobody but the caller.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidArgument, LinkageError, NoSuchEntry
+from repro.hw.cpu import CodeSegment, Link
+from repro.kernel.gates import Gate
+from repro.user.object_format import decode_object_trusting, parse_symbol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.services import KernelServices
+
+
+def h_make_linkage(services, process, segno):
+    """Parse an object segment (ring 0!) and install its code and links.
+
+    Returns ``(first_link_index, n_links)``.
+    """
+    words = services.read_segment_words(process, segno)
+    # Period-faithful: the supervisor trusts the user-written header.
+    obj = decode_object_trusting(words, name=f"seg{segno}")
+    process.code_segments[segno] = CodeSegment(
+        instructions=obj.code, entry_points=dict(obj.definitions)
+    )
+    first = len(process.links)
+    for sym in obj.links:
+        process.links.append(Link(symbol=sym))
+    return (first, len(obj.links))
+
+
+def h_snap(services, process, index):
+    """Resolve one symbolic link: refname/search lookup + definition."""
+    links = process.links
+    if not 0 <= index < len(links):
+        raise InvalidArgument(f"no link {index}")
+    link = links[index]
+    if link.snapped:
+        return (link.segno, link.offset)
+    ref, entry = parse_symbol(link.symbol)
+    state = services.pstate(process)
+    try:
+        target_segno = state.legacy_kst.refname_entry(ref).segno
+    except NoSuchEntry:
+        # Walk the in-kernel search rules, then initiate + bind.
+        from repro.kernel.naming_kernel import h_initiate_path, h_search
+
+        path = h_search(services, process, ref)
+        target_segno = h_initiate_path(services, process, path)
+        state.legacy_kst.bind_refname(target_segno, ref)
+    code = process.code_segments.get(target_segno)
+    if code is None:
+        raise LinkageError(
+            f"segment {target_segno} has no linkage made (call "
+            f"lk_$make_linkage first)"
+        )
+    offset = code.entry_points.get(entry)
+    if offset is None:
+        raise LinkageError(f"no definition {entry!r} in segment {target_segno}")
+    link.snapped = True
+    link.segno = target_segno
+    link.offset = offset
+    return (target_segno, offset)
+
+
+def h_force(services, process, index, segno, offset):
+    """Manually snap a link to an arbitrary target.
+
+    The hardware gate discipline still applies when the link is used:
+    forcing a link at a kernel segment's non-gate offset buys the
+    attacker only an access violation at call time.
+    """
+    links = process.links
+    if not 0 <= index < len(links):
+        raise InvalidArgument(f"no link {index}")
+    link = links[index]
+    link.snapped = True
+    link.segno = segno
+    link.offset = offset
+    return (segno, offset)
+
+
+def h_unsnap_all(services, process):
+    count = 0
+    for link in process.links:
+        if link.snapped:
+            link.snapped = False
+            link.segno = -1
+            link.offset = -1
+            count += 1
+    return count
+
+
+def h_link_count(services, process):
+    return len(process.links)
+
+
+def h_get_def(services, process, segno, name):
+    code = process.code_segments.get(segno)
+    if code is None:
+        raise NoSuchEntry(f"segment {segno} has no linkage made")
+    offset = code.entry_points.get(name)
+    if offset is None:
+        raise NoSuchEntry(f"no definition {name!r} in segment {segno}")
+    return offset
+
+
+def h_list_defs(services, process, segno):
+    code = process.code_segments.get(segno)
+    if code is None:
+        raise NoSuchEntry(f"segment {segno} has no linkage made")
+    return sorted(code.entry_points.items())
+
+
+def h_get_linkage(services, process):
+    return [
+        {
+            "index": i,
+            "symbol": link.symbol,
+            "snapped": link.snapped,
+            "segno": link.segno,
+            "offset": link.offset,
+        }
+        for i, link in enumerate(process.links)
+    ]
+
+
+def h_combine_linkage(services, process, segno):
+    """Append another object segment's links without (re)loading code."""
+    words = services.read_segment_words(process, segno)
+    obj = decode_object_trusting(words, name=f"seg{segno}")
+    first = len(process.links)
+    for sym in obj.links:
+        process.links.append(Link(symbol=sym))
+    return (first, len(obj.links))
+
+
+def h_reset_linkage(services, process):
+    n = len(process.links)
+    process.links.clear()
+    process.code_segments.clear()
+    return n
+
+
+def linker_gates() -> list[Gate]:
+    """The ten linker gates — 10% of the legacy perimeter (E1)."""
+    tag = "linker"
+    return [
+        Gate("lk_$make_linkage", "linker", h_make_linkage, ("segno",),
+             removed_by=tag,
+             doc="parse an object segment, install code and links"),
+        Gate("lk_$snap", "linker", h_snap, ("uint",),
+             removed_by=tag, doc="resolve one symbolic link"),
+        Gate("lk_$force", "linker", h_force, ("uint", "segno", "uint"),
+             removed_by=tag, doc="manually snap a link"),
+        Gate("lk_$unsnap_all", "linker", h_unsnap_all, (),
+             removed_by=tag, doc="unsnap every link"),
+        Gate("lk_$link_count", "linker", h_link_count, (),
+             removed_by=tag, doc="count linkage slots"),
+        Gate("lk_$get_def", "linker", h_get_def, ("segno", "name"),
+             removed_by=tag, doc="look up a definition"),
+        Gate("lk_$list_defs", "linker", h_list_defs, ("segno",),
+             removed_by=tag, doc="enumerate definitions"),
+        Gate("lk_$get_linkage", "linker", h_get_linkage, (),
+             removed_by=tag, doc="dump the linkage section"),
+        Gate("lk_$combine_linkage", "linker", h_combine_linkage, ("segno",),
+             removed_by=tag, doc="append another segment's links"),
+        Gate("lk_$reset_linkage", "linker", h_reset_linkage, (),
+             removed_by=tag, doc="clear the linkage section"),
+    ]

@@ -1,0 +1,158 @@
+"""The legacy in-kernel answering service (removed by project E14).
+
+In the legacy system the whole login apparatus — terminal dialogue,
+password collection, session table, greeting, accounting — is
+privileged supervisor code behind its own gate family.  The paper's
+removal project observes that entering a protected subsystem and
+creating a process on login are the same mechanism, so "the large
+collection of privileged, protected code used to authenticate and log
+in users would become non-privileged code."
+
+The new system keeps exactly one privileged step (``hcs_$proc_create``,
+in :mod:`repro.kernel.proc_gates`, which verifies the password) and
+moves the rest to :mod:`repro.user.login`.  One period-authentic flaw
+is preserved here for experiment E11, marked ``FLAW``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AuthenticationError, InvalidArgument, NoSuchEntry
+from repro.kernel.gates import Gate, PRIVILEGED_GATE
+from repro.kernel.proc_gates import hash_password
+from repro.proc.process import Process
+from repro.security.principal import Principal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.services import KernelServices
+
+
+@dataclass
+class Session:
+    session_id: int
+    person: str
+    project: str
+    tty: str
+    pid: int
+    logged_in_at: int
+
+
+class AnsweringService:
+    """Kernel-resident session machinery (legacy only)."""
+
+    def __init__(self) -> None:
+        self.sessions: dict[int, Session] = {}
+        self._ids = itertools.count(1)
+        self.motd = "Multics 24.0: load 32.0/100.0"
+        self.failed_logins = 0
+
+
+def _answering(services) -> AnsweringService:
+    if not hasattr(services, "answering_service"):
+        services.answering_service = AnsweringService()
+    return services.answering_service
+
+
+def h_as_login(services, process, person, project, password, tty):
+    """Authenticate and create the user's process, all in ring 0."""
+    svc = _answering(services)
+    record = services.users.get(person)
+    if record is None or record.password_hash != hash_password(password, person):
+        svc.failed_logins += 1
+        services.audit.log(
+            services.sim.clock.now, person, tty, "login", "denied",
+            "bad credentials",
+        )
+        raise AuthenticationError(f"login incorrect for {person}")
+    if project not in record.projects:
+        svc.failed_logins += 1
+        raise AuthenticationError(f"{person} not on project {project}")
+    principal = Principal(person, project, clearance=record.clearance)
+    user_process = Process(
+        f"{person}.{project}", ring=services.config_user_ring(),
+        principal=principal,
+    )
+    services.created_processes[user_process.pid] = user_process
+    services.process_creators[user_process.pid] = process.pid
+    services.pstate(user_process)
+    session = Session(
+        next(svc._ids), person, project, tty, user_process.pid,
+        services.sim.clock.now,
+    )
+    svc.sessions[session.session_id] = session
+    terminal = services.devices.get(tty)
+    if terminal is not None and terminal.device_class == "terminal":
+        if terminal.attached_by is None:
+            terminal.attach(user_process.pid)
+            terminal.write_line(user_process.pid, svc.motd)
+    return session.session_id
+
+
+def h_as_logout(services, process, session_id):
+    svc = _answering(services)
+    session = svc.sessions.pop(session_id, None)
+    if session is None:
+        raise NoSuchEntry(f"no session {session_id}")
+    target = services.created_processes.pop(session.pid, None)
+    if target is not None:
+        services.drop_pstate(target)
+        terminal = services.devices.get(session.tty)
+        if terminal is not None and terminal.attached_by == session.pid:
+            terminal.detach(session.pid)
+    return session_id
+
+
+def h_as_whoami(services, process, session_id):
+    svc = _answering(services)
+    session = svc.sessions.get(session_id)
+    if session is None:
+        raise NoSuchEntry(f"no session {session_id}")
+    return f"{session.person}.{session.project}"
+
+
+def h_as_change_password(services, process, person, old, new):
+    record = services.users.get(person)
+    if record is None or record.password_hash != hash_password(old, person):
+        raise AuthenticationError("password change refused")
+    record.password_hash = hash_password(new, person)
+    return True
+
+
+def h_as_list_sessions(services, process):
+    """FLAW (E11): listing sessions is *user-available* in the legacy
+    supervisor, disclosing who is logged in from where — an information
+    leak the minimized system simply does not offer a gate for."""
+    svc = _answering(services)
+    return [
+        (s.session_id, s.person, s.project, s.tty)
+        for s in svc.sessions.values()
+    ]
+
+
+def h_as_set_motd(services, process, text):
+    _answering(services).motd = text
+    return text
+
+
+def login_gates() -> list[Gate]:
+    tag = "login"
+    return [
+        Gate("as_$login", "login", h_as_login,
+             ("str", "str", "str", "str"), removed_by=tag,
+             doc="in-kernel login (authenticate + create process)"),
+        Gate("as_$logout", "login", h_as_logout, ("uint",),
+             removed_by=tag, doc="end a session"),
+        Gate("as_$whoami", "login", h_as_whoami, ("uint",),
+             removed_by=tag, doc="session identity"),
+        Gate("as_$change_password", "login", h_as_change_password,
+             ("str", "str", "str"), removed_by=tag,
+             doc="change a password"),
+        Gate("as_$list_sessions", "login", h_as_list_sessions, (),
+             removed_by=tag, doc="enumerate sessions (FLAW: user-available)"),
+        Gate("as_$set_motd", "login", h_as_set_motd, ("str",),
+             brackets=PRIVILEGED_GATE, removed_by=tag,
+             doc="set the greeting (admin)"),
+    ]

@@ -1,0 +1,157 @@
+"""Kernel size and perimeter measurement (experiments E1-E3, E10, E14).
+
+Two measures, both taken from the running implementation:
+
+* **gate census** — how many entry points a supervisor exports, total
+  and user-available, grouped by category and by removal project; and
+* **statement counts** — how much code a certifier must audit, counted
+  as AST statement nodes of the modules (or individual functions) that
+  execute with supervisor privilege.  Statement counts are the honest
+  Python analogue of the paper's "size of the protected code": they
+  ignore comments, docstrings, and blank lines.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from types import FunctionType, ModuleType
+
+
+def count_statements(obj: ModuleType | FunctionType | type | str) -> int:
+    """Count executable statement nodes in a module, class, function,
+    or source string.  Docstring expressions are excluded."""
+    if isinstance(obj, str):
+        source = obj
+    else:
+        source = inspect.getsource(obj)
+    tree = ast.parse(textwrap.dedent(source))
+    count = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if _is_docstring_stmt(node):
+            continue
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        count += 1
+    return count
+
+
+def _is_docstring_stmt(node: ast.stmt) -> bool:
+    return (
+        isinstance(node, ast.Expr)
+        and isinstance(node.value, ast.Constant)
+        and isinstance(node.value.value, str)
+    )
+
+
+def count_statements_all(objs: list) -> int:
+    return sum(count_statements(obj) for obj in objs)
+
+
+@dataclass
+class GateCensus:
+    """The perimeter of one supervisor."""
+
+    total: int
+    user_available: int
+    by_category: dict[str, int]
+    by_removal: dict[str, int]
+
+    @property
+    def removable(self) -> int:
+        return sum(v for k, v in self.by_removal.items() if k != "kept")
+
+
+def gate_census(supervisor) -> GateCensus:
+    table = supervisor.gates
+    user_by_removal: dict[str, int] = {}
+    for gate in table.user_available_gates():
+        tag = gate.removed_by or "kept"
+        user_by_removal[tag] = user_by_removal.get(tag, 0) + 1
+    return GateCensus(
+        total=len(table),
+        user_available=len(table.user_available_gates()),
+        by_category=table.by_category(),
+        by_removal=user_by_removal,
+    )
+
+
+@dataclass
+class SizeReport:
+    """Protected-code size of one supervisor."""
+
+    per_module: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_module.values())
+
+
+def protected_code_report(supervisor) -> SizeReport:
+    return SizeReport(
+        per_module={
+            m.__name__: count_statements(m)
+            for m in supervisor.protected_modules()
+        }
+    )
+
+
+def address_space_code_size(supervisor) -> int:
+    """Statements of protected address-space-management code (E3)."""
+    return count_statements_all(supervisor.address_space_components())
+
+
+# ---------------------------------------------------------------------------
+# the before/after comparisons the benches print
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RemovalComparison:
+    """One removal project's effect on the user-available perimeter."""
+
+    project: str
+    before: int
+    removed: int
+
+    @property
+    def after(self) -> int:
+        return self.before - self.removed
+
+    @property
+    def fraction_removed(self) -> float:
+        return self.removed / self.before if self.before else 0.0
+
+
+def linker_removal(legacy_supervisor) -> RemovalComparison:
+    """E1: the linker's share of the legacy perimeter (paper: 10% of
+    the gate entry points)."""
+    census = gate_census(legacy_supervisor)
+    return RemovalComparison(
+        project="linker",
+        before=census.user_available,
+        removed=census.by_removal.get("linker", 0),
+    )
+
+
+def linker_and_naming_removal(legacy_supervisor) -> RemovalComparison:
+    """E2: linker + reference-name removal (paper: reduces
+    user-available supervisor entries by approximately one third)."""
+    census = gate_census(legacy_supervisor)
+    removed = census.by_removal.get("linker", 0) + census.by_removal.get(
+        "naming", 0
+    )
+    return RemovalComparison(
+        project="linker+naming", before=census.user_available, removed=removed
+    )
+
+
+def address_space_reduction(legacy_supervisor, kernel) -> float:
+    """E3: factor by which protected address-space code shrank
+    (paper: a factor of ten)."""
+    before = address_space_code_size(legacy_supervisor)
+    after = address_space_code_size(kernel)
+    return before / after if after else float("inf")

@@ -1,0 +1,388 @@
+"""Legacy in-kernel naming: tree walking, reference names, search rules.
+
+Everything in this module runs *inside the supervisor* in the legacy
+system and is exactly what Bratt's removal project evicted: tree-name
+resolution, per-process reference names, working directories, and
+search rules all become user-ring code in the new system
+(:mod:`repro.user.refnames`, :mod:`repro.user.search_rules`), leaving
+only the minimal segno-based KST interface in the kernel.
+
+The gate census here (23 entries) plus the linker's (10) is what makes
+the legacy supervisor's user-available perimeter roughly one third
+larger than the minimized kernel's (experiments E1-E3).
+
+One period-authentic flaw is preserved for the penetration suite
+(E11), marked ``FLAW``: the search gate reveals whether an entry
+exists in directories the caller has no right to read.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidArgument, NoSuchEntry, SearchFailed
+from repro.fs.directory import SEP, split_path
+from repro.hw.segmentation import AccessMode
+from repro.kernel.fs_gates import _check_dir, _principal, initiate_branch
+from repro.kernel.gates import Gate
+from repro.security.mac import BOTTOM
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.services import KernelServices
+
+
+# ---------------------------------------------------------------------------
+# in-kernel tree walking
+# ---------------------------------------------------------------------------
+
+def _walk_to_dir(services, process, path, check=True):
+    """Follow a tree name to a directory, checking read access on every
+    directory traversed (as the legacy supervisor did)."""
+    parts = split_path(path)
+    current = services.tree.root
+    if check:
+        _check_dir(services, process, current, AccessMode.R)
+    for name in parts:
+        branch = current.get(name)
+        if not branch.is_directory:
+            raise NoSuchEntry(f"{name!r} in {path!r} is not a directory")
+        current = services.tree.directory(branch.uid)
+        if check:
+            _check_dir(services, process, current, AccessMode.R)
+    return current
+
+
+def _walk_to_branch(services, process, path, check=True):
+    parts = split_path(path)
+    if not parts:
+        raise InvalidArgument("the root has no branch")
+    parent_path = SEP + SEP.join(parts[:-1])
+    directory = _walk_to_dir(services, process, parent_path, check=check)
+    return directory, directory.get(parts[-1])
+
+
+def _expand(services, process, path):
+    """Resolve a relative path against the in-kernel working directory."""
+    if path.startswith(SEP):
+        return path
+    state = services.pstate(process)
+    if state.working_dir_uid is None:
+        raise InvalidArgument("no working directory set")
+    wdir = services.tree.directory(state.working_dir_uid)
+    base = services.tree.path_of(wdir)
+    if base == SEP:
+        return SEP + path
+    return f"{base}{SEP}{path}"
+
+
+# ---------------------------------------------------------------------------
+# initiation by path / reference name management
+# ---------------------------------------------------------------------------
+
+def h_initiate_path(services, process, path):
+    full = _expand(services, process, path)
+    if not split_path(full):
+        # The root itself: initiate as a directory handle.
+        _check_dir(services, process, services.tree.root, AccessMode.R)
+        segno, _ = services.pstate(process).kst.make_known(
+            services.tree.root.uid, is_directory=True
+        )
+        return segno
+    directory, branch = _walk_to_branch(services, process, full)
+    segno = initiate_branch(services, process, branch)
+    # Maintain the unsplit KST: pathname association + initiate count.
+    services.pstate(process).legacy_kst.initiate(
+        branch.uid, pathname=full, is_directory=branch.is_directory,
+        segno=segno,
+    )
+    return segno
+
+
+def h_initiate_refname(services, process, path, refname):
+    full = _expand(services, process, path)
+    directory, branch = _walk_to_branch(services, process, full)
+    segno = initiate_branch(services, process, branch)
+    services.pstate(process).legacy_kst.initiate(
+        branch.uid, pathname=full, refname=refname,
+        is_directory=branch.is_directory, segno=segno,
+    )
+    return segno
+
+
+def h_add_refname(services, process, segno, refname):
+    state = services.pstate(process)
+    state.kst.uid_of(segno)  # must be known to the mapping half too
+    if not state.legacy_kst.is_known(state.kst.uid_of(segno)):
+        state.legacy_kst.initiate(state.kst.uid_of(segno), segno=segno)
+    state.legacy_kst.bind_refname(segno, refname)
+    return refname
+
+
+def h_delete_refname(services, process, refname):
+    return services.pstate(process).legacy_kst.unbind_refname(refname)
+
+
+def h_terminate_refname(services, process, refname):
+    """Drop a refname; terminate the segment when no names remain."""
+    state = services.pstate(process)
+    segno = state.legacy_kst.unbind_refname(refname)
+    entry = state.legacy_kst.entry(segno)
+    if not entry.refnames:
+        uid = state.legacy_kst.terminate(segno, force=True)
+        if uid is not None and state.kst.is_known(uid):
+            state.kst.terminate(segno)
+            if segno in process.dseg:
+                process.dseg.remove(segno)
+    return segno
+
+
+def h_terminate_path(services, process, path):
+    full = _expand(services, process, path)
+    directory, branch = _walk_to_branch(services, process, full)
+    state = services.pstate(process)
+    if not state.kst.is_known(branch.uid):
+        raise NoSuchEntry(f"{path!r} is not initiated")
+    segno = state.kst.segno_of(branch.uid)
+    if state.legacy_kst.is_known(branch.uid):
+        removed = state.legacy_kst.terminate(segno)
+        if removed is None:
+            return segno  # initiate count still positive
+    state.kst.terminate(segno)
+    if segno in process.dseg:
+        process.dseg.remove(segno)
+    return segno
+
+
+def h_refname_to_segno(services, process, refname):
+    return services.pstate(process).legacy_kst.refname_entry(refname).segno
+
+
+def h_segno_to_refnames(services, process, segno):
+    return sorted(services.pstate(process).legacy_kst.refnames_of(segno))
+
+
+def h_list_refnames(services, process):
+    return services.pstate(process).legacy_kst.all_refnames()
+
+
+def h_get_pathname(services, process, segno):
+    """The tree name of a known segment: served from the unsplit KST's
+    pathname association when present, else by walking the whole
+    hierarchy — precisely the kind of work that does not need
+    protection."""
+    state = services.pstate(process)
+    try:
+        cached = state.legacy_kst.pathname_of(segno)
+        if cached:
+            return cached
+    except NoSuchEntry:
+        pass
+    uid = state.kst.uid_of(segno)
+    for directory in services.tree.directories():
+        for branch in directory.list_branches():
+            if branch.uid == uid:
+                base = services.tree.path_of(directory)
+                return (base if base != SEP else "") + SEP + branch.name
+    raise NoSuchEntry(f"segment {segno} has no branch")
+
+
+def h_expand_pathname(services, process, path):
+    return _expand(services, process, path)
+
+
+# ---------------------------------------------------------------------------
+# working directory and search rules
+# ---------------------------------------------------------------------------
+
+def h_set_wdir(services, process, path):
+    full = _expand(services, process, path)
+    directory = _walk_to_dir(services, process, full)
+    services.pstate(process).working_dir_uid = directory.uid
+    return full
+
+
+def h_get_wdir(services, process):
+    state = services.pstate(process)
+    if state.working_dir_uid is None:
+        return SEP
+    return services.tree.path_of(services.tree.directory(state.working_dir_uid))
+
+
+def h_set_search_rules(services, process, paths):
+    """Install search rules.
+
+    FLAW (period-authentic, part of experiment E11's attack A3): the
+    rules are resolved *without* access checks — they are "just paths"
+    — so a caller can aim the searcher at directories it has no right
+    to read.  Combined with the unchecked ``hcs_$search`` below, this
+    leaks entry existence from private directories.
+    """
+    if not isinstance(paths, list) or not all(isinstance(p, str) for p in paths):
+        raise InvalidArgument("search rules are a list of directory paths")
+    uids = []
+    for path in paths:
+        uids.append(_walk_to_dir(services, process, path, check=False).uid)
+    services.pstate(process).search_rules = uids
+    return len(uids)
+
+
+def h_get_search_rules(services, process):
+    state = services.pstate(process)
+    return [
+        services.tree.path_of(services.tree.directory(uid))
+        for uid in state.search_rules
+        if services.tree.is_directory_uid(uid)
+    ]
+
+
+def h_reset_search_rules(services, process):
+    services.pstate(process).search_rules = []
+    return 0
+
+
+def h_search(services, process, name):
+    """Find ``name`` along the search rules; returns its full path.
+
+    FLAW (period-authentic, exploited by experiment E11): the search
+    does not check the caller's read access on the directories it
+    searches, so it reveals the existence of entries in directories the
+    caller cannot list.  The user-ring replacement cannot have this
+    flaw: it must initiate each directory, which the kernel checks.
+    """
+    state = services.pstate(process)
+    rules = list(state.search_rules)
+    if state.working_dir_uid is not None:
+        rules.insert(0, state.working_dir_uid)
+    for uid in rules:
+        if not services.tree.is_directory_uid(uid):
+            continue
+        directory = services.tree.directory(uid)
+        branch = directory.maybe(name)   # FLAW: no _check_dir here
+        if branch is not None:
+            base = services.tree.path_of(directory)
+            return (base if base != SEP else "") + SEP + branch.name
+    raise SearchFailed(f"{name!r} not found along search rules")
+
+
+# ---------------------------------------------------------------------------
+# whole-path conveniences (each a full in-kernel walk)
+# ---------------------------------------------------------------------------
+
+def h_find_entry(services, process, path):
+    directory, branch = _walk_to_branch(
+        services, process, _expand(services, process, path)
+    )
+    return {
+        "name": branch.name,
+        "uid": branch.uid,
+        "type": "directory" if branch.is_directory else "segment",
+        "label": str(branch.label),
+    }
+
+
+def h_chname(services, process, path, old, new):
+    directory = _walk_to_dir(services, process, _expand(services, process, path))
+    _check_dir(services, process, directory, AccessMode.W)
+    directory.rename(old, new)
+    return new
+
+
+def h_create_segment_path(services, process, path, n_pages):
+    from repro.kernel.fs_gates import h_create_segment
+
+    full = _expand(services, process, path)
+    parts = split_path(full)
+    parent = _walk_to_dir(services, process, SEP + SEP.join(parts[:-1]))
+    state = services.pstate(process)
+    dir_segno, _ = state.kst.make_known(parent.uid, is_directory=True)
+    return h_create_segment(
+        services, process, dir_segno, parts[-1], n_pages, BOTTOM
+    )
+
+
+def h_create_dir_path(services, process, path):
+    from repro.kernel.fs_gates import h_create_directory
+
+    full = _expand(services, process, path)
+    parts = split_path(full)
+    parent = _walk_to_dir(services, process, SEP + SEP.join(parts[:-1]))
+    state = services.pstate(process)
+    dir_segno, _ = state.kst.make_known(parent.uid, is_directory=True)
+    return h_create_directory(services, process, dir_segno, parts[-1], BOTTOM)
+
+
+def h_delete_path(services, process, path):
+    from repro.kernel.fs_gates import h_delete_entry
+
+    full = _expand(services, process, path)
+    parts = split_path(full)
+    parent = _walk_to_dir(services, process, SEP + SEP.join(parts[:-1]))
+    state = services.pstate(process)
+    dir_segno, _ = state.kst.make_known(parent.uid, is_directory=True)
+    return h_delete_entry(services, process, dir_segno, parts[-1])
+
+
+def h_list_path(services, process, path):
+    from repro.kernel.fs_gates import h_list_directory
+
+    directory = _walk_to_dir(services, process, _expand(services, process, path))
+    state = services.pstate(process)
+    dir_segno, _ = state.kst.make_known(directory.uid, is_directory=True)
+    return h_list_directory(services, process, dir_segno)
+
+
+def naming_gates() -> list[Gate]:
+    """The 23 naming gates the legacy supervisor exports and the
+    minimized kernel removes."""
+    tag = "naming"
+    return [
+        Gate("hcs_$initiate_path", "naming", h_initiate_path, ("str",),
+             removed_by=tag, doc="initiate by full tree name"),
+        Gate("hcs_$initiate_refname", "naming", h_initiate_refname,
+             ("str", "name"), removed_by=tag,
+             doc="initiate and bind a reference name"),
+        Gate("hcs_$add_refname", "naming", h_add_refname, ("segno", "name"),
+             removed_by=tag, doc="bind another reference name"),
+        Gate("hcs_$delete_refname", "naming", h_delete_refname, ("name",),
+             removed_by=tag, doc="unbind a reference name"),
+        Gate("hcs_$terminate_refname", "naming", h_terminate_refname,
+             ("name",), removed_by=tag,
+             doc="unbind; terminate when last name drops"),
+        Gate("hcs_$terminate_path", "naming", h_terminate_path, ("str",),
+             removed_by=tag, doc="terminate by tree name"),
+        Gate("hcs_$refname_to_segno", "naming", h_refname_to_segno,
+             ("name",), removed_by=tag, doc="reference name to segno"),
+        Gate("hcs_$segno_to_refnames", "naming", h_segno_to_refnames,
+             ("segno",), removed_by=tag, doc="segno to reference names"),
+        Gate("hcs_$list_refnames", "naming", h_list_refnames, (),
+             removed_by=tag, doc="enumerate reference names"),
+        Gate("hcs_$get_pathname", "naming", h_get_pathname, ("segno",),
+             removed_by=tag, doc="segment number to tree name"),
+        Gate("hcs_$expand_pathname", "naming", h_expand_pathname, ("str",),
+             removed_by=tag, doc="resolve against the working directory"),
+        Gate("hcs_$set_wdir", "naming", h_set_wdir, ("str",),
+             removed_by=tag, doc="set the working directory"),
+        Gate("hcs_$get_wdir", "naming", h_get_wdir, (),
+             removed_by=tag, doc="read the working directory"),
+        Gate("hcs_$set_search_rules", "naming", h_set_search_rules,
+             ("any",), removed_by=tag, doc="install search rules"),
+        Gate("hcs_$get_search_rules", "naming", h_get_search_rules, (),
+             removed_by=tag, doc="read search rules"),
+        Gate("hcs_$reset_search_rules", "naming", h_reset_search_rules, (),
+             removed_by=tag, doc="clear search rules"),
+        Gate("hcs_$search", "naming", h_search, ("name",),
+             removed_by=tag, doc="find a name along the search rules"),
+        Gate("hcs_$find_entry", "naming", h_find_entry, ("str",),
+             removed_by=tag, doc="status by tree name"),
+        Gate("hcs_$chname", "naming", h_chname, ("str", "name", "name"),
+             removed_by=tag, doc="rename by tree name"),
+        Gate("hcs_$create_segment_path", "naming", h_create_segment_path,
+             ("str", "uint"), removed_by=tag,
+             doc="create a segment by tree name"),
+        Gate("hcs_$create_dir_path", "naming", h_create_dir_path, ("str",),
+             removed_by=tag, doc="create a directory by tree name"),
+        Gate("hcs_$delete_path", "naming", h_delete_path, ("str",),
+             removed_by=tag, doc="delete by tree name"),
+        Gate("hcs_$list_path", "naming", h_list_path, ("str",),
+             removed_by=tag, doc="list a directory by tree name"),
+    ]

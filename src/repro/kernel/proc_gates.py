@@ -1,0 +1,207 @@
+"""Process and IPC gates (kept by both supervisors).
+
+The headline gate is ``hcs_$proc_create``: the paper's "recently-
+realized equivalence between the mechanics of entering a protected
+subsystem and the mechanics of creating a new process in response to a
+user's log in."  One kernel mechanism creates a process *for an
+authenticated principal*; everything else about logging in (terminal
+dialogue, sessions, greeting, accounting) is unprivileged user-ring
+code in the new system (:mod:`repro.user.login`, experiment E14),
+whereas the legacy supervisor carries a whole in-kernel answering
+service (:mod:`repro.kernel.login_kernel`).
+
+IPC channels are tied to segments, so the right to send a wakeup is
+the right to write the channel's segment — the standard memory
+protection controls IPC with no mechanism of its own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    AccessDenied,
+    AuthenticationError,
+    InvalidArgument,
+    NoSuchEntry,
+)
+from repro.kernel.gates import Gate, PRIVILEGED_GATE
+from repro.proc.ipc import guarded_by_segment_write
+from repro.proc.process import Process
+from repro.security.mac import BOTTOM, SecurityLabel
+from repro.security.principal import Principal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.services import KernelServices
+
+
+def hash_password(password: str, salt: str) -> str:
+    """The kernel stores only salted hashes (not period-authentic —
+    the real system stored scrambled passwords — but the mechanism
+    shape is the same: the kernel never reveals the stored secret)."""
+    return hashlib.blake2b(
+        f"{salt}:{password}".encode(), digest_size=16
+    ).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# IPC handlers
+# ---------------------------------------------------------------------------
+
+def _channel_name(pid: int, segno: int) -> str:
+    return f"ipc.{pid}.{segno}"
+
+
+def h_ipc_create_channel(services, process, segno):
+    """Create an event channel guarded by write access to ``segno``."""
+    if segno not in process.dseg:
+        raise InvalidArgument(
+            f"segment {segno} is not in the caller's address space"
+        )
+    name = _channel_name(process.pid, segno)
+    services.scheduler.create_channel(
+        name, guard=guarded_by_segment_write(segno)
+    )
+    return name
+
+
+def h_ipc_delete_channel(services, process, name):
+    channel = services.scheduler.channels.get(name)
+    if channel is None:
+        raise NoSuchEntry(f"no channel {name!r}")
+    if not name.startswith(f"ipc.{process.pid}."):
+        raise AccessDenied("only the creating process may delete a channel")
+    del services.scheduler.channels[name]
+    return name
+
+
+def h_ipc_wakeup(services, process, name):
+    """Send a wakeup; the channel's guard enforces authorization."""
+    channel = services.scheduler.channels.get(name)
+    if channel is None:
+        raise NoSuchEntry(f"no channel {name!r}")
+    services.scheduler.send_wakeup(channel, sender=process)
+    return True
+
+
+def h_ipc_pending(services, process, name):
+    channel = services.scheduler.channels.get(name)
+    if channel is None:
+        raise NoSuchEntry(f"no channel {name!r}")
+    return len(channel.pending)
+
+
+# ---------------------------------------------------------------------------
+# process handlers
+# ---------------------------------------------------------------------------
+
+def h_proc_create(services, process, name, person, project, password):
+    """The unified subsystem-entry / process-creation mechanism.
+
+    Creates a process owned by ``person.project`` after verifying the
+    password against the kernel's registry.  This is the *only*
+    privileged step of logging in; the caller may be any user-ring
+    program (the login subsystem, a subsystem launcher, a test).
+    """
+    record = services.users.get(person)
+    if record is None or record.password_hash != hash_password(
+        password, person
+    ):
+        services.audit.log(
+            services.sim.clock.now,
+            str(process.principal) if process.principal else process.name,
+            person, "proc_create", "denied", "bad credentials",
+        )
+        raise AuthenticationError(f"authentication failed for {person}")
+    if project not in record.projects:
+        raise AuthenticationError(
+            f"{person} is not registered on project {project}"
+        )
+    principal = Principal(person, project, clearance=record.clearance)
+    new_process = Process(name, ring=services.config_user_ring(), principal=principal)
+    services.created_processes[new_process.pid] = new_process
+    services.process_creators[new_process.pid] = process.pid
+    services.pstate(new_process)  # allocate kernel-side state now
+    return new_process.pid
+
+
+def h_proc_destroy(services, process, pid):
+    target = services.created_processes.get(pid)
+    if target is None:
+        raise NoSuchEntry(f"no created process {pid}")
+    creator = services.process_creators.get(pid)
+    same_person = (
+        process.principal is not None
+        and target.principal is not None
+        and process.principal.person == target.principal.person
+    )
+    if not (same_person or creator == process.pid or process.ring <= 1):
+        raise AccessDenied(
+            "may only destroy one's own processes or ones one created"
+        )
+    del services.created_processes[pid]
+    services.process_creators.pop(pid, None)
+    services.drop_pstate(target)
+    return pid
+
+
+def h_proc_info(services, process, pid):
+    target = services.created_processes.get(pid)
+    if target is None:
+        raise NoSuchEntry(f"no created process {pid}")
+    return {
+        "pid": target.pid,
+        "name": target.name,
+        "principal": str(target.principal) if target.principal else None,
+        "ring": target.ring,
+        "state": target.state.value,
+        "cpu_cycles": target.cpu_cycles,
+        "page_faults": target.page_faults,
+    }
+
+
+def h_proc_list(services, process):
+    return sorted(services.created_processes)
+
+
+def h_user_register(services, process, person, project, password, label):
+    """Administrative: add a user to the kernel registry."""
+    services.register_user(person, [project], password, label)
+    return person
+
+
+def h_set_clearance(services, process, person, label):
+    record = services.users.get(person)
+    if record is None:
+        raise NoSuchEntry(f"no user {person}")
+    record.clearance = label
+    return str(label)
+
+
+def proc_gates() -> list[Gate]:
+    return [
+        Gate("hcs_$ipc_create_channel", "ipc", h_ipc_create_channel,
+             ("segno",), doc="create a segment-guarded event channel"),
+        Gate("hcs_$ipc_delete_channel", "ipc", h_ipc_delete_channel,
+             ("str",), doc="delete an event channel"),
+        Gate("hcs_$ipc_wakeup", "ipc", h_ipc_wakeup, ("str",),
+             doc="send a wakeup (guarded by segment write access)"),
+        Gate("hcs_$ipc_pending", "ipc", h_ipc_pending, ("str",),
+             doc="count queued wakeups"),
+        Gate("hcs_$proc_create", "process", h_proc_create,
+             ("name", "str", "str", "str"),
+             doc="unified authenticated process creation / subsystem entry"),
+        Gate("hcs_$proc_destroy", "process", h_proc_destroy, ("uint",),
+             doc="destroy a created process"),
+        Gate("hcs_$proc_info", "process", h_proc_info, ("uint",),
+             doc="inspect a created process"),
+        Gate("hcs_$proc_list", "process", h_proc_list, (),
+             brackets=PRIVILEGED_GATE, doc="enumerate processes (admin)"),
+        Gate("hcs_$user_register", "process", h_user_register,
+             ("str", "str", "str", "label"),
+             brackets=PRIVILEGED_GATE, doc="register a user (admin)"),
+        Gate("hcs_$set_clearance", "process", h_set_clearance,
+             ("str", "label"),
+             brackets=PRIVILEGED_GATE, doc="set a user's clearance (admin)"),
+    ]

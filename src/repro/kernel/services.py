@@ -1,0 +1,260 @@
+"""The bundle of kernel-resident services shared by both supervisors.
+
+Everything a gate handler may touch hangs off :class:`KernelServices`:
+the simulator, memory hierarchy, active segment table, the UID file
+system (layer 1), the directory tree (layer 2), page control, the
+reference monitor, and per-process kernel state (KSTs, descriptor
+segments).  The *difference* between the legacy supervisor and the
+security kernel is which gate tables and which in-kernel modules sit on
+top of these services — the services themselves are common substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.config import SupervisorKind, SystemConfig
+from repro.errors import NoSuchEntry
+from repro.fs.acl import Acl
+from repro.fs.directory import Branch, DirectoryTree
+from repro.fs.kst import KnownSegmentTable
+from repro.fs.uid_layer import UidFileSystem
+from repro.hw.clock import Simulator
+from repro.hw.interrupts import InterruptController
+from repro.hw.memory import MemoryHierarchy
+from repro.proc.scheduler import TrafficController
+from repro.security.audit import AuditLog
+from repro.security.mac import BOTTOM
+from repro.security.principal import KERNEL_PRINCIPAL
+from repro.security.reference_monitor import ReferenceMonitor
+from repro.vm.page_control import PageControl, make_page_control
+from repro.vm.segment_control import ActiveSegmentTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proc.process import Process
+
+
+@dataclass
+class UserRecord:
+    """One registered user, as the kernel knows them."""
+
+    person: str
+    projects: list[str]
+    password_hash: str
+    clearance: object = BOTTOM
+
+
+@dataclass
+class ProcessKernelState:
+    """Kernel-side state for one process (never user-writable)."""
+
+    kst: KnownSegmentTable = field(default_factory=KnownSegmentTable)
+    #: Legacy only: the unsplit KST holding in-kernel reference names,
+    #: pathnames, and initiate counts (see repro.kernel.kst_legacy).
+    legacy_kst: "LegacyKnownSegmentTable" = field(
+        default_factory=lambda: _make_legacy_kst()
+    )
+    #: Legacy only: in-kernel working directory (a directory UID).
+    working_dir_uid: int | None = None
+    #: Legacy only: in-kernel search rules (directory UIDs, in order).
+    search_rules: list[int] = field(default_factory=list)
+
+
+def _make_legacy_kst():
+    from repro.kernel.kst_legacy import LegacyKnownSegmentTable
+
+    return LegacyKnownSegmentTable()
+
+
+class KernelServices:
+    """Shared kernel substrate (see module docstring)."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.scheduler = TrafficController(self.sim, config)
+        self.hierarchy = MemoryHierarchy(config)
+        self.ast = ActiveSegmentTable(self.hierarchy)
+        self.interrupts = InterruptController(self.sim.clock)
+        self.audit = AuditLog()
+        self.monitor = ReferenceMonitor(self.audit)
+        self.page_control: PageControl = make_page_control(
+            config.page_control,
+            self.sim,
+            self.scheduler,
+            self.hierarchy,
+            self.ast,
+            config,
+        )
+        self.ufs = UidFileSystem(self.ast, page_control=self.page_control)
+        root_uid = self.ufs.create_segment(
+            1, label=BOTTOM, is_directory=True
+        )
+        self.tree = DirectoryTree(root_uid, BOTTOM)
+        self._build_io()
+        #: Kernel-side per-process state, keyed by pid.
+        self._pstate: dict[int, ProcessKernelState] = {}
+        #: The kernel's user registry (person -> record).
+        self.users: dict[str, UserRecord] = {}
+        #: Processes created through hcs_$proc_create, keyed by pid.
+        self.created_processes: dict[int, "Process"] = {}
+        #: pid -> pid of the process that created it (destroy rights).
+        self.process_creators: dict[int, int] = {}
+        #: Counters the benches read.
+        self.gate_cycles = 0
+        self.supervisor_incidents = 0
+
+    def _build_io(self) -> None:
+        """Create the peripheral inventory and the network attachment."""
+        from repro.config import BufferKind
+        from repro.io.buffers import CircularBuffer, InfiniteVMBuffer
+        from repro.io.devices import (
+            CardPunch,
+            CardReader,
+            LinePrinter,
+            TapeDrive,
+            Terminal,
+        )
+        from repro.io.network import NetworkAttachment
+
+        sim, ic = self.sim, self.interrupts
+        self.devices = {
+            "tty1": Terminal("tty1", sim, ic, line=1),
+            "tape1": TapeDrive("tape1", sim, ic, line=2),
+            "rdr1": CardReader("rdr1", sim, ic, line=3),
+            "pun1": CardPunch("pun1", sim, ic, line=4),
+            "prt1": LinePrinter("prt1", sim, ic, line=5),
+        }
+        if self.config.buffers is BufferKind.CIRCULAR:
+            buffer = CircularBuffer(self.config.net_buffer_capacity)
+        else:
+            buffer = InfiniteVMBuffer(
+                messages_per_page=max(self.config.page_size // 4, 1)
+            )
+        self.network = NetworkAttachment(sim, ic, line=6, buffer=buffer)
+
+    # -- users ---------------------------------------------------------------
+
+    def register_user(
+        self,
+        person: str,
+        projects: list[str],
+        password: str,
+        clearance=BOTTOM,
+    ) -> "UserRecord":
+        from repro.kernel.proc_gates import hash_password
+
+        record = UserRecord(
+            person=person,
+            projects=list(projects),
+            password_hash=hash_password(password, person),
+            clearance=clearance,
+        )
+        self.users[person] = record
+        return record
+
+    def config_user_ring(self) -> int:
+        from repro.config import USER_RING
+
+        return USER_RING
+
+    # -- per-process kernel state ------------------------------------------
+
+    def pstate(self, process: "Process") -> ProcessKernelState:
+        state = self._pstate.get(process.pid)
+        if state is None:
+            state = ProcessKernelState()
+            self._pstate[process.pid] = state
+        return state
+
+    def drop_pstate(self, process: "Process") -> None:
+        self._pstate.pop(process.pid, None)
+
+    # -- hardware-mediated data access ---------------------------------------
+    #
+    # These helpers model ordinary loads/stores by the process: every
+    # word goes through the hardware translation (ring + mode + bounds
+    # checks against the process's own SDW), with missing pages serviced
+    # synchronously.  Kernel code uses them to read user-supplied
+    # buffers *with the caller's access rights*, never its own.
+
+    def read_word(self, process: "Process", segno: int, offset: int) -> int:
+        from repro.errors import MissingPageFault
+        from repro.hw.segmentation import Intent, translate
+
+        while True:
+            try:
+                frame, woff = translate(
+                    process.dseg, segno, offset, process.ring,
+                    Intent.READ, self.config.page_size,
+                )
+                break
+            except MissingPageFault as fault:
+                uid = process.dseg.get(segno).uid
+                self.page_control.service_sync(self.ast.get(uid), fault.pageno)
+        return self.hierarchy.core.read(frame, woff)
+
+    def write_word(
+        self, process: "Process", segno: int, offset: int, value: int
+    ) -> None:
+        from repro.errors import MissingPageFault
+        from repro.hw.segmentation import Intent, translate
+
+        while True:
+            try:
+                frame, woff = translate(
+                    process.dseg, segno, offset, process.ring,
+                    Intent.WRITE, self.config.page_size,
+                )
+                break
+            except MissingPageFault as fault:
+                uid = process.dseg.get(segno).uid
+                self.page_control.service_sync(self.ast.get(uid), fault.pageno)
+        self.hierarchy.core.write(frame, woff, value)
+
+    def read_segment_words(
+        self, process: "Process", segno: int, count: int | None = None
+    ) -> list[int]:
+        sdw = process.dseg.get(segno)
+        n = sdw.bound if count is None else min(count, sdw.bound)
+        return [self.read_word(process, segno, off) for off in range(n)]
+
+    def write_segment_words(
+        self, process: "Process", segno: int, words: list[int], offset: int = 0
+    ) -> None:
+        for i, word in enumerate(words):
+            self.write_word(process, segno, offset + i, word)
+
+    # -- shared lookup helpers (used by many gate handlers) -------------------
+
+    def directory_by_segno(self, process: "Process", dir_segno: int):
+        """Map a caller-supplied segment number to a directory object.
+
+        The caller must already have the directory initiated; the kernel
+        trusts only its own KST, never a user-supplied UID.
+        """
+        state = self.pstate(process)
+        uid = state.kst.uid_of(dir_segno)
+        return self.tree.directory(uid)
+
+    def branch_by_segno(self, process: "Process", segno: int) -> Branch:
+        """Find the branch a known segment number was initiated from."""
+        state = self.pstate(process)
+        uid = state.kst.uid_of(segno)
+        for directory in self.tree.directories():
+            for branch in directory.list_branches():
+                if branch.uid == uid:
+                    return branch
+        raise NoSuchEntry(f"no branch for segment number {segno}")
+
+
+def build_services(config: SystemConfig | None = None) -> KernelServices:
+    """Construct the substrate for a fresh system."""
+    return KernelServices(config or SystemConfig())
+
+
+def default_acl(author: str = "*") -> Acl:
+    """The conventional initial ACL on a new branch."""
+    return Acl.make((f"{author}.*.*", "rew") if author != "*" else ("*.*.*", "rew"))

@@ -1,0 +1,27 @@
+"""KPL — a PL/I-subset kernel language, its compiler, and the
+per-module certifier of the paper's footnote 6.
+
+"The kernel needs to work correctly for all possible inputs; the
+compiler need compile correctly only the specific programs of the
+kernel — not all possible programs.  Thus, the compiler's effect on the
+kernel can be certified by comparing the source code 'model' for each
+kernel module with the compiler-produced object code 'implementation',
+a task much simpler than certifying the compiler correct for all
+possible source programs."
+
+:mod:`repro.lang.compiler` builds object segments from KPL source;
+:mod:`repro.lang.certifier` performs exactly that per-module
+comparison: structural checks plus differential execution of the object
+code (on the simulated CPU) against an independent interpretation of
+the source (experiment E13).
+"""
+
+from repro.lang.compiler import Program, compile_source
+from repro.lang.certifier import CertificationReport, certify_module
+
+__all__ = [
+    "Program",
+    "compile_source",
+    "CertificationReport",
+    "certify_module",
+]

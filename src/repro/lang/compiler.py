@@ -1,0 +1,455 @@
+"""The KPL compiler: a PL/I-flavoured subset to the stack-machine ISA.
+
+Grammar (informally)::
+
+    program   := procedure+
+    procedure := "procedure" NAME "(" params? ")" ";" body "end" ";"
+    body      := stmt*
+    stmt      := "declare" NAME ";"
+               | NAME "=" expr ";"
+               | "if" expr "then" body ("else" body)? "end" ";"
+               | "while" expr "do" body "end" ";"
+               | "return" expr ";"
+               | "call" NAME "(" args? ")" ";"
+    expr      := comparison with + - * / mod, unary -, parentheses,
+                 integer literals, variables, and calls NAME(args)
+
+Calls compile to linkage-section references (``CALLL``): internal calls
+get the symbol ``<module>$<proc>``, so the loader binds the module's
+own reference name and the same dynamic-linking machinery serves both
+intra- and inter-module calls — exactly how Multics object segments
+behaved.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import CompilationError
+from repro.hw.cpu import Instruction, Op
+from repro.user.object_format import ObjectSegment
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Unary:
+    op: str
+    operand: object
+
+
+@dataclass
+class BinOp:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class Call:
+    target: str          # "proc" or "module$proc"
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class Declare:
+    name: str
+
+
+@dataclass
+class Assign:
+    name: str
+    value: object
+
+
+@dataclass
+class If:
+    cond: object
+    then: list
+    otherwise: list
+
+
+@dataclass
+class While:
+    cond: object
+    body: list
+
+
+@dataclass
+class Return:
+    value: object
+
+
+@dataclass
+class CallStmt:
+    call: Call
+
+
+@dataclass
+class Procedure:
+    name: str
+    params: list[str]
+    body: list
+
+
+@dataclass
+class Program:
+    module: str
+    procedures: dict[str, Procedure]
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\$[A-Za-z_][A-Za-z_0-9]*)?)"
+    r"|(?P<op><=|>=|\^=|=|<|>|\+|-|\*|/|\(|\)|;|,))"
+)
+
+KEYWORDS = {
+    "procedure", "end", "declare", "if", "then", "else", "while", "do",
+    "return", "call", "mod",
+}
+
+
+def tokenize(source: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    # Strip PL/I comments /* ... */
+    source = re.sub(r"/\*.*?\*/", " ", source, flags=re.S)
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            rest = source[pos:].strip()
+            if not rest:
+                break
+            raise CompilationError(f"cannot tokenize near {rest[:20]!r}")
+        pos = match.end()
+        if match.group("num") is not None:
+            tokens.append(("num", match.group("num")))
+        elif match.group("name") is not None:
+            word = match.group("name")
+            tokens.append(("kw" if word in KEYWORDS else "name", word))
+        else:
+            tokens.append(("op", match.group("op")))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise CompilationError(
+                f"expected {value or kind}, found {token[1]!r}"
+            )
+        return token[1]
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+
+    def program(self, module: str) -> Program:
+        procedures: dict[str, Procedure] = {}
+        while not self.accept("eof"):
+            proc = self.procedure()
+            if proc.name in procedures:
+                raise CompilationError(f"duplicate procedure {proc.name!r}")
+            procedures[proc.name] = proc
+        if not procedures:
+            raise CompilationError("empty program")
+        return Program(module, procedures)
+
+    def procedure(self) -> Procedure:
+        self.expect("kw", "procedure")
+        name = self.expect("name")
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.accept("op", ")"):
+            params.append(self.expect("name"))
+            while self.accept("op", ","):
+                params.append(self.expect("name"))
+            self.expect("op", ")")
+        self.expect("op", ";")
+        body = self.body()
+        self.expect("kw", "end")
+        self.expect("op", ";")
+        return Procedure(name, params, body)
+
+    def body(self) -> list:
+        statements = []
+        while True:
+            token = self.peek()
+            if token == ("kw", "end") or token == ("kw", "else") or token[0] == "eof":
+                return statements
+            statements.append(self.statement())
+
+    def statement(self):
+        if self.accept("kw", "declare"):
+            name = self.expect("name")
+            self.expect("op", ";")
+            return Declare(name)
+        if self.accept("kw", "if"):
+            cond = self.expr()
+            self.expect("kw", "then")
+            then = self.body()
+            otherwise: list = []
+            if self.accept("kw", "else"):
+                otherwise = self.body()
+            self.expect("kw", "end")
+            self.expect("op", ";")
+            return If(cond, then, otherwise)
+        if self.accept("kw", "while"):
+            cond = self.expr()
+            self.expect("kw", "do")
+            body = self.body()
+            self.expect("kw", "end")
+            self.expect("op", ";")
+            return While(cond, body)
+        if self.accept("kw", "return"):
+            value = self.expr()
+            self.expect("op", ";")
+            return Return(value)
+        if self.accept("kw", "call"):
+            name = self.expect("name")
+            call = Call(name, self.call_args())
+            self.expect("op", ";")
+            return CallStmt(call)
+        # assignment
+        name = self.expect("name")
+        self.expect("op", "=")
+        value = self.expr()
+        self.expect("op", ";")
+        return Assign(name, value)
+
+    def call_args(self) -> list:
+        self.expect("op", "(")
+        args = []
+        if not self.accept("op", ")"):
+            args.append(self.expr())
+            while self.accept("op", ","):
+                args.append(self.expr())
+            self.expect("op", ")")
+        return args
+
+    # expressions: comparison > additive > multiplicative > unary > primary
+    def expr(self):
+        left = self.additive()
+        token = self.peek()
+        if token[0] == "op" and token[1] in ("=", "<", ">", "<=", ">=", "^="):
+            op = self.next()[1]
+            right = self.additive()
+            return BinOp(op, left, right)
+        return left
+
+    def additive(self):
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token[0] == "op" and token[1] in ("+", "-"):
+                op = self.next()[1]
+                left = BinOp(op, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self):
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if (token[0] == "op" and token[1] in ("*", "/")) or token == ("kw", "mod"):
+                op = self.next()[1]
+                left = BinOp(op, left, self.unary())
+            else:
+                return left
+
+    def unary(self):
+        if self.accept("op", "-"):
+            return Unary("-", self.unary())
+        return self.primary()
+
+    def primary(self):
+        token = self.next()
+        if token[0] == "num":
+            return Num(int(token[1]))
+        if token[0] == "name":
+            if self.peek() == ("op", "("):
+                return Call(token[1], self.call_args())
+            return Var(token[1])
+        if token == ("op", "("):
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        raise CompilationError(f"unexpected token {token[1]!r} in expression")
+
+
+# ---------------------------------------------------------------------------
+# code generation
+# ---------------------------------------------------------------------------
+
+_CMP_OPS = {"=": Op.EQ, "<": Op.LT, ">": Op.GT, "<=": Op.LE, ">=": Op.GE,
+            "^=": Op.NE}
+_ARITH_OPS = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV,
+              "mod": Op.MOD}
+
+
+class _CodeGen:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.code: list[Instruction] = []
+        self.links: list[str] = []
+        self._link_index: dict[str, int] = {}
+
+    def link_for(self, target: str) -> int:
+        """Linkage slot for a call target (module-qualified)."""
+        if "$" not in target:
+            target = f"{self.program.module}${target}"
+        if target not in self._link_index:
+            self._link_index[target] = len(self.links)
+            self.links.append(target)
+        return self._link_index[target]
+
+    def emit(self, op: Op, a: int = 0, b: int = 0, c: int = 0) -> int:
+        self.code.append(Instruction(op, a, b, c))
+        return len(self.code) - 1
+
+    def generate(self) -> ObjectSegment:
+        definitions: dict[str, int] = {}
+        for proc in self.program.procedures.values():
+            definitions[proc.name] = len(self.code)
+            self.gen_procedure(proc)
+        obj = ObjectSegment(
+            name=self.program.module,
+            code=self.code,
+            definitions=definitions,
+            links=self.links,
+        )
+        obj.validate()
+        return obj
+
+    def gen_procedure(self, proc: Procedure) -> None:
+        slots = {name: i for i, name in enumerate(proc.params)}
+        for stmt in proc.body:
+            self.gen_stmt(stmt, slots, proc)
+        # Fall off the end: return 0.
+        self.emit(Op.PUSHI, 0)
+        self.emit(Op.RET)
+
+    def gen_stmt(self, stmt, slots: dict[str, int], proc: Procedure) -> None:
+        if isinstance(stmt, Declare):
+            if stmt.name in slots:
+                raise CompilationError(
+                    f"{proc.name}: {stmt.name!r} already declared"
+                )
+            slots[stmt.name] = len(slots)
+            self.emit(Op.PUSHI, 0)
+            self.emit(Op.STOREF, slots[stmt.name])
+        elif isinstance(stmt, Assign):
+            if stmt.name not in slots:
+                raise CompilationError(
+                    f"{proc.name}: assignment to undeclared {stmt.name!r}"
+                )
+            self.gen_expr(stmt.value, slots, proc)
+            self.emit(Op.STOREF, slots[stmt.name])
+        elif isinstance(stmt, Return):
+            self.gen_expr(stmt.value, slots, proc)
+            self.emit(Op.RET)
+        elif isinstance(stmt, If):
+            self.gen_expr(stmt.cond, slots, proc)
+            jz = self.emit(Op.JZ)
+            for inner in stmt.then:
+                self.gen_stmt(inner, slots, proc)
+            if stmt.otherwise:
+                jmp = self.emit(Op.JMP)
+                self.code[jz] = Instruction(Op.JZ, len(self.code))
+                for inner in stmt.otherwise:
+                    self.gen_stmt(inner, slots, proc)
+                self.code[jmp] = Instruction(Op.JMP, len(self.code))
+            else:
+                self.code[jz] = Instruction(Op.JZ, len(self.code))
+        elif isinstance(stmt, While):
+            top = len(self.code)
+            self.gen_expr(stmt.cond, slots, proc)
+            jz = self.emit(Op.JZ)
+            for inner in stmt.body:
+                self.gen_stmt(inner, slots, proc)
+            self.emit(Op.JMP, top)
+            self.code[jz] = Instruction(Op.JZ, len(self.code))
+        elif isinstance(stmt, CallStmt):
+            self.gen_expr(stmt.call, slots, proc)
+            self.emit(Op.POP)
+        else:  # pragma: no cover - parser produces only the above
+            raise CompilationError(f"unknown statement {stmt!r}")
+
+    def gen_expr(self, expr, slots: dict[str, int], proc: Procedure) -> None:
+        if isinstance(expr, Num):
+            self.emit(Op.PUSHI, expr.value)
+        elif isinstance(expr, Var):
+            if expr.name not in slots:
+                raise CompilationError(
+                    f"{proc.name}: undeclared variable {expr.name!r}"
+                )
+            self.emit(Op.LOADF, slots[expr.name])
+        elif isinstance(expr, Unary):
+            self.gen_expr(expr.operand, slots, proc)
+            self.emit(Op.NEG)
+        elif isinstance(expr, BinOp):
+            self.gen_expr(expr.left, slots, proc)
+            self.gen_expr(expr.right, slots, proc)
+            op = _CMP_OPS.get(expr.op) or _ARITH_OPS.get(expr.op)
+            if op is None:  # pragma: no cover
+                raise CompilationError(f"unknown operator {expr.op!r}")
+            self.emit(op)
+        elif isinstance(expr, Call):
+            for arg in expr.args:
+                self.gen_expr(arg, slots, proc)
+            self.emit(Op.CALLL, self.link_for(expr.target), len(expr.args))
+        else:  # pragma: no cover
+            raise CompilationError(f"unknown expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# front door
+# ---------------------------------------------------------------------------
+
+def parse(source: str, module: str = "module") -> Program:
+    return _Parser(tokenize(source)).program(module)
+
+
+def compile_source(source: str, module: str = "module") -> ObjectSegment:
+    """Compile KPL source into an object segment."""
+    return _CodeGen(parse(source, module)).generate()

@@ -1,0 +1,33 @@
+"""Process implementation and traffic control.
+
+The paper's new process design has **two layers**:
+
+* level 1 (:mod:`repro.proc.virtual_processor`) multiplexes the physical
+  processors into a larger *fixed* number of virtual processors and has
+  no dependency on the virtual memory;
+* level 2 (:mod:`repro.proc.scheduler`) multiplexes the pooled virtual
+  processors into any number of full Multics processes.
+
+Several virtual processors are permanently assigned to kernel
+processes (page control's freers, interrupt handlers), which is what
+lets those mechanisms be written as straightforward asynchronous
+processes (experiments E5, E8, E9).
+"""
+
+from repro.proc.ipc import Block, Charge, EventChannel, Now, Wakeup
+from repro.proc.process import Process, ProcessState
+from repro.proc.scheduler import TrafficController
+from repro.proc.virtual_processor import VirtualProcessor, VirtualProcessorTable
+
+__all__ = [
+    "Block",
+    "Charge",
+    "EventChannel",
+    "Now",
+    "Wakeup",
+    "Process",
+    "ProcessState",
+    "TrafficController",
+    "VirtualProcessor",
+    "VirtualProcessorTable",
+]

@@ -1,0 +1,133 @@
+"""The two interrupt-handling designs (experiment E8).
+
+Old design (:class:`InProcessDispatch`): the handler body runs at
+interrupt time *inside whatever process happened to be executing*, with
+further interrupts masked for the duration.  Handlers therefore cannot
+block, must be written as straight-line masked code, and steal their
+cycles from an innocent process.
+
+New design (:class:`DedicatedProcessDispatch`): "Each interrupt handler
+will be assigned its own process in which to execute ... the system
+interrupt interceptor will simply turn each interrupt into a wakeup of
+the corresponding process."  Handlers become full processes: they may
+block, use ordinary IPC, and cost the running process only the few
+cycles of a wakeup.
+
+Timing note: handler work in the old design happens synchronously at
+interrupt delivery; the simulation charges those cycles to the victim
+process's account (and to the controller's masked-time counter) rather
+than re-threading the event timeline — the quantities experiment E8
+reports are exactly these accounts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.config import CostModel
+from repro.hw.interrupts import Interrupt, InterruptController
+from repro.proc.ipc import Block, Charge, EventChannel
+from repro.proc.process import Process
+from repro.proc.scheduler import TrafficController
+
+#: A handler body: receives the interrupt payload, yields simcalls.
+Handler = Callable[[object], Generator]
+
+
+class _DispatchBase:
+    def __init__(
+        self,
+        controller: InterruptController,
+        scheduler: TrafficController,
+        costs: CostModel,
+    ) -> None:
+        self.controller = controller
+        self.scheduler = scheduler
+        self.costs = costs
+        #: Cycles charged to processes that merely happened to be running.
+        self.stolen_cycles = 0
+        self.handled = 0
+        controller.set_interceptor(self._intercept)
+
+    def _steal(self, cycles: int) -> None:
+        """Charge ``cycles`` to whatever process is currently running."""
+        self.stolen_cycles += cycles
+        for processor in self.scheduler.processors:
+            if processor.current is not None:
+                processor.current.cpu_cycles += cycles
+                processor.busy_cycles += cycles
+                break
+
+    def _intercept(self, interrupt: Interrupt) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class InProcessDispatch(_DispatchBase):
+    """Old design: handlers inhabit the running process, masked."""
+
+    def __init__(self, controller, scheduler, costs) -> None:
+        super().__init__(controller, scheduler, costs)
+        self._handlers: dict[int, Handler] = {}
+
+    def register(self, line: int, handler: Handler) -> None:
+        self._handlers[line] = handler
+
+    def _intercept(self, interrupt: Interrupt) -> None:
+        handler = self._handlers.get(interrupt.line)
+        if handler is None:
+            return
+        self.controller.mask()
+        cycles = self.costs.interrupt_in_process
+        for item in handler(interrupt.payload):
+            if isinstance(item, Charge):
+                cycles += item.cycles
+            elif isinstance(item, Block):
+                # The historic constraint the paper is escaping: an
+                # in-process handler has no process of its own to block.
+                self.controller.unmask()
+                raise RuntimeError(
+                    "in-process interrupt handler attempted to block"
+                )
+            # Wakeups are permitted (that is how old handlers signalled
+            # waiting processes).
+            elif hasattr(item, "channel"):
+                self.scheduler.send_wakeup(item.channel, getattr(item, "message", None))
+        self._steal(cycles)
+        self.controller.masked_cycles += cycles
+        self.handled += 1
+        self.controller.unmask()
+
+
+class DedicatedProcessDispatch(_DispatchBase):
+    """New design: interceptor converts interrupts into wakeups of
+    dedicated handler processes."""
+
+    def __init__(self, controller, scheduler, costs) -> None:
+        super().__init__(controller, scheduler, costs)
+        self._channels: dict[int, EventChannel] = {}
+        self.handler_processes: dict[int, Process] = {}
+
+    def register(self, line: int, handler: Handler) -> Process:
+        """Create the dedicated handler process for ``line``."""
+        channel = self.scheduler.create_channel(f"interrupt.line.{line}")
+        self._channels[line] = channel
+
+        def body(proc: Process):
+            while True:
+                payload = yield Block(channel)
+                yield from handler(payload)
+                self.handled += 1
+
+        process = Process(
+            f"interrupt_handler_{line}", body=body, ring=0, dedicated=True
+        )
+        self.handler_processes[line] = process
+        self.scheduler.add_process(process)
+        return process
+
+    def _intercept(self, interrupt: Interrupt) -> None:
+        channel = self._channels.get(interrupt.line)
+        if channel is None:
+            return
+        self._steal(self.costs.interrupt_to_wakeup)
+        self.scheduler.send_wakeup(channel, interrupt.payload)

@@ -1,0 +1,137 @@
+"""Base-level interprocess communication: event channels and wakeups.
+
+Multics IPC is block/wakeup on *event channels*.  A wakeup sent when
+nobody is waiting is remembered (the "wakeup waiting" switch), so the
+classic lost-wakeup race cannot occur.  Channels also carry optional
+messages, delivered FIFO.
+
+The paper's redesign gives the base-level IPC facility "the property
+that its use can be controlled with the standard memory protection
+mechanisms of the kernel": a channel is addressed through a segment,
+and the right to send a wakeup is exactly the right to write that
+segment.  That is modelled by the optional ``guard``: the kernel
+installs a guard that performs the segment access check against the
+sending process, so IPC authorization needs no mechanism of its own.
+
+Simulated processes interact with channels by *yielding* the simcall
+objects defined here (:class:`Charge`, :class:`Block`, :class:`Wakeup`,
+:class:`Now`); the traffic controller interprets them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import AccessViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proc.process import Process
+
+
+class EventChannel:
+    """A named rendezvous point for block/wakeup."""
+
+    def __init__(
+        self,
+        name: str,
+        guard: Callable[["Process"], None] | None = None,
+    ) -> None:
+        self.name = name
+        self._guard = guard
+        #: Processes blocked on this channel, FIFO.
+        self.waiters: deque["Process"] = deque()
+        #: Wakeups (with their messages) that arrived with no waiter.
+        self.pending: deque[object] = deque()
+        # Statistics.
+        self.wakeups_sent = 0
+        self.wakeups_queued = 0
+
+    def check_sender(self, sender: "Process | None") -> None:
+        """Apply the kernel-installed guard.
+
+        The guard raises :class:`AccessViolation` when the sender lacks
+        write access to the channel's segment.  ``sender=None`` means
+        the wakeup comes from the kernel itself (device completion),
+        which is never guarded.
+        """
+        if self._guard is not None and sender is not None:
+            self._guard(sender)
+
+    def has_work(self) -> bool:
+        return bool(self.pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EventChannel {self.name!r} waiters={len(self.waiters)} "
+            f"pending={len(self.pending)}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Simcalls: objects a process generator yields to the traffic controller
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Charge:
+    """Consume ``cycles`` of processor time."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+
+
+@dataclass(frozen=True)
+class Block:
+    """Wait on ``channel``; the yield expression evaluates to the
+    message carried by the wakeup (or None)."""
+
+    channel: EventChannel
+
+
+@dataclass(frozen=True)
+class Wakeup:
+    """Send a wakeup (with optional ``message``) to ``channel``.
+
+    If the sending process lacks the access the channel's guard
+    demands, the yield raises :class:`AccessViolation` *in the sender*.
+    """
+
+    channel: EventChannel
+    message: object = None
+
+
+@dataclass(frozen=True)
+class Now:
+    """The yield expression evaluates to the current simulated time."""
+
+
+SimCall = Charge | Block | Wakeup | Now
+
+
+def guarded_by_segment_write(segno: int):
+    """Build a channel guard enforcing 'send == may write the segment'.
+
+    The kernel allocates each channel a home segment; a process may send
+    wakeups on the channel exactly when its own SDW for that segment
+    permits writing in its current ring.  IPC authorization thereby
+    reuses the standard memory protection mechanism, as the paper's new
+    base-level IPC design requires.
+    """
+    from repro.errors import SegmentFault
+    from repro.hw.segmentation import Intent, check_access
+
+    def guard(sender: "Process") -> None:
+        try:
+            sdw = sender.dseg.get(segno)
+        except SegmentFault:
+            # The sender has not even mapped the channel segment.
+            raise AccessViolation(
+                f"process {sender.name} cannot address IPC segment {segno}"
+            ) from None
+        check_access(sdw, sender.ring, Intent.WRITE)
+
+    return guard

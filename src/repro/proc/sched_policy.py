@@ -1,0 +1,170 @@
+"""Policy/mechanism separation for the scheduler.
+
+The paper generalizes from page removal: "It appears that the idea of
+separating policy from mechanisms applies to all resource management
+algorithms."  This module applies it to processor scheduling, in the
+same shape as :mod:`repro.vm.policy_mechanism`:
+
+* the **mechanism** (ring 0) owns the ready queue and the dispatch
+  machinery; it exposes gates that return *scrubbed* per-candidate
+  records (opaque handle, waiting time, CPU consumed, preemption count
+  — never a pid, principal, or anything addressable) and accept a
+  dispatch choice by handle;
+* the **policy** (ring 2) ranks candidates however it likes.
+
+A malicious policy can starve processes — denial of use — and nothing
+else: it cannot identify who it is starving, read their memory, or
+forge a handle (handles are salted per decision round and validated).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgument
+from repro.proc.process import Process
+from repro.proc.scheduler import TrafficController
+
+
+@dataclass(frozen=True)
+class CandidateInfo:
+    """Everything a scheduling policy may know about a ready process."""
+
+    slot: int
+    waiting: int      #: cycles since the process became ready
+    cpu_used: int     #: lifetime CPU consumption
+    preemptions: int
+
+
+class SchedulingMechanism:
+    """The ring-0 dispatch mechanics, behind a two-gate surface."""
+
+    def __init__(self, scheduler: TrafficController) -> None:
+        self._tc = scheduler
+        self._round = itertools.count(1)
+        self._slots: dict[int, int] = {}   # handle -> queue index
+        self._ready_at: dict[int, int] = {}  # pid -> time entered ready
+        self.invalid_choices = 0
+        self.decisions = 0
+
+    def install(self, policy: "SchedulingPolicy") -> None:
+        """Wire the policy into the traffic controller's dispatch."""
+
+        def advisor(ready: list[Process]) -> int:
+            return self._decide(policy, ready)
+
+        self._tc.dispatch_advisor = advisor
+
+    def uninstall(self) -> None:
+        self._tc.dispatch_advisor = None
+
+    # -- the decision round ----------------------------------------------------
+
+    def _decide(self, policy: "SchedulingPolicy", ready: list[Process]) -> int:
+        now = self._tc.sim.clock.now
+        salt = next(self._round)
+        self._slots = {}
+        infos = []
+        for index, process in enumerate(ready):
+            digest = hashlib.blake2b(
+                f"{salt}:{process.pid}".encode(), digest_size=6
+            ).digest()
+            handle = int.from_bytes(digest, "big")
+            self._slots[handle] = index
+            self._ready_at.setdefault(process.pid, now)
+            infos.append(
+                CandidateInfo(
+                    slot=handle,
+                    waiting=now - self._ready_at[process.pid],
+                    cpu_used=process.cpu_cycles,
+                    preemptions=process.preemptions,
+                )
+            )
+        self.decisions += 1
+        try:
+            chosen = policy.choose(infos)
+        except Exception:
+            # A crashing policy costs only its advice.
+            self.invalid_choices += 1
+            return 0
+        index = self._slots.get(chosen)
+        if index is None:
+            self.invalid_choices += 1
+            return 0  # forged or stale handle: fall back to FIFO
+        pid = ready[index].pid
+        self._ready_at.pop(pid, None)
+        return index
+
+
+class SchedulingPolicy:
+    """Base class for ring-2 scheduling policies."""
+
+    name = "abstract"
+
+    def choose(self, infos: list[CandidateInfo]) -> int:
+        """Return the ``slot`` handle of the process to dispatch."""
+        raise NotImplementedError
+
+
+class FifoSchedulingPolicy(SchedulingPolicy):
+    """Longest-waiting first (the default behaviour, made explicit)."""
+
+    name = "fifo"
+
+    def choose(self, infos: list[CandidateInfo]) -> int:
+        return max(infos, key=lambda i: i.waiting).slot
+
+
+class FairShareSchedulingPolicy(SchedulingPolicy):
+    """Prefer processes that have consumed the least CPU."""
+
+    name = "fair_share"
+
+    def choose(self, infos: list[CandidateInfo]) -> int:
+        return min(infos, key=lambda i: (i.cpu_used, -i.waiting)).slot
+
+
+class StarvingSchedulingPolicy(SchedulingPolicy):
+    """Malicious: always dispatches the *heaviest* consumer, starving
+    light processes — denial of use, the only lever it has."""
+
+    name = "starver"
+
+    def choose(self, infos: list[CandidateInfo]) -> int:
+        return max(infos, key=lambda i: i.cpu_used).slot
+
+
+class ForgingSchedulingPolicy(SchedulingPolicy):
+    """Malicious: answers with fabricated handles; every forgery falls
+    back to FIFO, so it cannot even starve anyone reliably."""
+
+    name = "forger"
+
+    def __init__(self) -> None:
+        self.attempts = 0
+
+    def choose(self, infos: list[CandidateInfo]) -> int:
+        self.attempts += 1
+        return 0xDEADBEEF
+
+
+class SnoopingSchedulingPolicy(SchedulingPolicy):
+    """Malicious: records every field it is shown, looking for process
+    identity.  Its loot stays limited to the four scrubbed scalars."""
+
+    name = "snooper"
+
+    def __init__(self) -> None:
+        self.loot: list[str] = []
+
+    def choose(self, infos: list[CandidateInfo]) -> int:
+        for info in infos:
+            for field_name in dir(info):
+                if field_name.startswith("_"):
+                    continue
+                if field_name not in ("slot", "waiting", "cpu_used",
+                                      "preemptions"):
+                    self.loot.append(field_name)
+        return max(infos, key=lambda i: i.waiting).slot

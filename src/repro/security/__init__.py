@@ -1,0 +1,17 @@
+"""Security model: principals, the MAC lattice, the reference monitor,
+auditing, and the penetration-test flaw catalog."""
+
+from repro.security.mac import BOTTOM, SecurityLabel, dominates
+from repro.security.principal import KERNEL_PRINCIPAL, Principal
+
+# NOTE: ReferenceMonitor is imported from repro.security.reference_monitor
+# directly; re-exporting it here would create an import cycle with
+# repro.fs (the monitor checks fs branches, and fs ACLs name principals).
+
+__all__ = [
+    "BOTTOM",
+    "SecurityLabel",
+    "dominates",
+    "KERNEL_PRINCIPAL",
+    "Principal",
+]

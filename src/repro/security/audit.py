@@ -1,0 +1,58 @@
+"""Audit trail of security-relevant kernel decisions.
+
+Every reference-monitor decision and every gate invocation is recorded.
+The penetration experiments use the log to demonstrate that no attack
+produced an ``allowed`` record it should not have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    time: int
+    subject: str        #: principal string
+    object: str         #: what was referenced (path, uid, gate name)
+    action: str         #: requested access or gate name
+    outcome: str        #: "granted" | "denied" | "error"
+    detail: str = ""
+
+
+@dataclass
+class AuditLog:
+    records: list[AuditRecord] = field(default_factory=list)
+
+    def log(
+        self,
+        time: int,
+        subject: str,
+        obj: str,
+        action: str,
+        outcome: str,
+        detail: str = "",
+    ) -> None:
+        self.records.append(
+            AuditRecord(time, subject, obj, action, outcome, detail)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def granted(self) -> list[AuditRecord]:
+        return [r for r in self.records if r.outcome == "granted"]
+
+    def denied(self) -> list[AuditRecord]:
+        return [r for r in self.records if r.outcome == "denied"]
+
+    def by_subject(self, subject: str) -> list[AuditRecord]:
+        return [r for r in self.records if r.subject == subject]
+
+    def by_object(self, obj: str) -> list[AuditRecord]:
+        return [r for r in self.records if r.object == obj]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def tail(self, n: int = 10) -> list[AuditRecord]:
+        return self.records[-n:]

@@ -1,0 +1,286 @@
+"""The penetration suite: Linde-style attack programs (experiment E11).
+
+The paper's review activity: "An effort is being made to identify and
+correct existing security flaws.  A list of all known Multics security
+flaws is maintained."  And its motivation: "in all general-purpose
+systems confronted, a wily user can construct a program that can obtain
+unauthorized access to information stored within the system."
+
+Each :class:`Attack` is a runnable program exercising one flaw class
+from Linde's catalog (AFIPS 1975) against a *live* system: malformed
+supervisor arguments, storage residue, unvalidated search paths,
+IPC forgery, MAC bypass through output channels, direct privileged-gate
+calls.  The harness runs the whole suite against the legacy supervisor
+and against the security kernel and tabulates who fell to what.
+
+An attack "succeeds" when it demonstrably violates the security model
+— discloses data it was denied, modifies what it could not write, or
+damages the supervisor itself — not merely when a gate returns an
+error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    AccessViolation,
+    KernelDenial,
+    ObjectFormatError,
+    ReproError,
+    SearchFailed,
+    UserRingError,
+)
+from repro.kernel.gates import GateViolationError
+
+
+@dataclass
+class AttackResult:
+    attack: str
+    flaw_class: str
+    succeeded: bool
+    detail: str
+
+
+class Attack:
+    """One attack program."""
+
+    name = "attack"
+    flaw_class = "unspecified"
+    description = ""
+
+    def run(self, system) -> AttackResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _result(self, succeeded: bool, detail: str) -> AttackResult:
+        return AttackResult(self.name, self.flaw_class, succeeded, detail)
+
+
+class MalformedObjectAttack(Attack):
+    """A1 — the paper's own example: feed the linker a maliciously
+    malstructured object segment.  Success = the *supervisor*
+    malfunctions (an incident in ring 0); a contained user-ring parse
+    error is a defence, not a success."""
+
+    name = "malformed_object_segment"
+    flaw_class = "unvalidated_supervisor_argument"
+
+    #: A header claiming far more code than the segment holds, driving
+    #: a trusting parser off the end of its input.
+    GARBAGE = [0o525252, 2, 9_999, 3, 3] + [7] * 20
+
+    def run(self, system) -> AttackResult:
+        session = system.login("Wily", "Pentest", "wily-pw")
+        segno = session.create_segment("evil_object", n_pages=4)
+        session.write_words(segno, self.GARBAGE)
+        services = system.services
+        incidents_before = services.supervisor_incidents
+        try:
+            session.load_program(segno)
+        except ObjectFormatError:
+            return self._result(
+                False, "defensive user-ring parse rejected the segment"
+            )
+        except ReproError:
+            pass
+        except Exception:
+            pass
+        incidents = services.supervisor_incidents - incidents_before
+        if incidents:
+            return self._result(
+                True,
+                f"supervisor malfunctioned in ring 0 ({incidents} incident)",
+            )
+        return self._result(False, "no supervisor incident")
+
+
+class ResidueAttack(Attack):
+    """A2 — storage residue: grab freshly allocated pages and scan them
+    for another user's deleted secrets."""
+
+    name = "storage_residue"
+    flaw_class = "incomplete_parameter_cleanup"
+    SECRET = 0o707070707
+
+    def run(self, system) -> AttackResult:
+        page = system.config.page_size
+        # The victim works with sensitive data, logs out (the address
+        # space deactivates: pages written back to disk), returns, and
+        # deletes the file — freeing the disk frames that now hold the
+        # secrets.
+        victim = system.login("Victim", "Payroll", "victim-pw")
+        segno = victim.create_segment("salaries", n_pages=2)
+        victim.write_words(segno, [self.SECRET] * page)
+        victim.logout()
+        victim = system.login("Victim", "Payroll", "victim-pw")
+        victim.delete("salaries")
+
+        attacker = system.login("Wily", "Pentest", "wily-pw")
+        for attempt in range(8):
+            probe = attacker.create_segment(f"probe_{attempt}", n_pages=2)
+            words = attacker.read_words(probe, 2 * page)
+            if self.SECRET in words:
+                return self._result(
+                    True,
+                    f"read victim residue from fresh segment probe_{attempt}",
+                )
+            attacker.delete(f"probe_{attempt}")
+        return self._result(False, "fresh pages arrived zeroed")
+
+
+class SearchPathLeakAttack(Attack):
+    """A3 — aim the in-kernel searcher at a directory the attacker may
+    not read and learn whether entries exist there."""
+
+    name = "search_path_leak"
+    flaw_class = "information_disclosure_via_unchecked_path"
+
+    def run(self, system) -> AttackResult:
+        victim = system.login("Victim", "Payroll", "victim-pw")
+        victim.create_dir("private")
+        victim.set_acl("private", "Victim.Payroll", "rw")
+        victim.set_acl("private", "*.*.*", "n")
+        victim.create_segment("private>merger_plan", n_pages=1)
+
+        attacker = system.login("Wily", "Pentest", "wily-pw")
+        target = f"{victim.home_path}>private"
+        # Direct listing is denied either way (control).
+        try:
+            attacker.list_dir(target)
+            return self._result(True, "listed a directory with a 'n' ACL?!")
+        except (KernelDenial, AccessViolation):
+            pass
+        # The legacy path: unchecked search rules + unchecked search.
+        try:
+            attacker.call("hcs_$set_search_rules", [target])
+            attacker.call("hcs_$search", "merger_plan")
+            return self._result(
+                True, "kernel search disclosed an entry in a private directory"
+            )
+        except GateViolationError:
+            # The kernel exports no search gates; the user-ring search
+            # cannot leak because every step is access-checked.
+            from repro.errors import SearchFailed as SF
+
+            attacker.search.rules = []
+            try:
+                attacker.search.search("merger_plan")
+                return self._result(True, "user-ring search leaked?!")
+            except SF:
+                return self._result(
+                    False, "no search gate; user-ring search is access-checked"
+                )
+        except (KernelDenial, SearchFailed, UserRingError):
+            return self._result(False, "search denied or found nothing")
+
+
+class WakeupForgeryAttack(Attack):
+    """A4 (control) — forge a wakeup on another process's channel.
+    Both systems guard channels with segment write access."""
+
+    name = "wakeup_forgery"
+    flaw_class = "ipc_authorization_bypass"
+
+    def run(self, system) -> AttackResult:
+        victim = system.login("Victim", "Payroll", "victim-pw")
+        seg = victim.create_segment("mailbox", n_pages=1)
+        victim.set_acl("mailbox", "*.*.*", "n")
+        victim.set_acl("mailbox", "Victim.Payroll", "rw")
+        channel = victim.call("hcs_$ipc_create_channel", seg)
+
+        attacker = system.login("Wily", "Pentest", "wily-pw")
+        try:
+            attacker.call("hcs_$ipc_wakeup", channel)
+            return self._result(True, "sent a wakeup without write access")
+        except (AccessViolation, KernelDenial):
+            return self._result(False, "wakeup rejected by the segment guard")
+
+
+class ClassifiedExfiltrationAttack(Attack):
+    """A5 — a cleared subject pushes classified data out an external
+    channel.  Legacy device gates never heard of the lattice; the
+    kernel's single network path enforces the *-property."""
+
+    name = "classified_exfiltration"
+    flaw_class = "mac_bypass_via_output_channel"
+
+    def run(self, system) -> AttackResult:
+        from repro.security.mac import SecurityLabel
+
+        system.register_user(
+            "Cleared", "Intel", "cleared-pw", clearance=SecurityLabel.parse("secret")
+        )
+        spy = system.login("Cleared", "Intel", "cleared-pw")
+        secret_line = "SECRET: troop movements at dawn"
+        # Try every externally visible output channel.
+        for gate, args in (
+            ("ios_$print_line", ("prt1", secret_line)),
+            ("ios_$card_punch", ("pun1", secret_line[:80])),
+            ("net_$send", ("remote-host", secret_line)),
+        ):
+            try:
+                spy.call(gate, *args)
+                return self._result(
+                    True, f"classified data left the system via {gate}"
+                )
+            except GateViolationError:
+                continue  # channel does not exist on this supervisor
+            except (KernelDenial, AccessViolation):
+                continue  # channel checked the lattice
+        return self._result(False, "every output channel enforced the lattice")
+
+
+class PrivilegedGateAttack(Attack):
+    """A6 (control) — call an administrative gate from the user ring.
+    The hardware gate discipline protects both systems."""
+
+    name = "privileged_gate_call"
+    flaw_class = "ring_bracket_bypass"
+
+    def run(self, system) -> AttackResult:
+        attacker = system.login("Wily", "Pentest", "wily-pw")
+        root = attacker.call("hcs_$get_root")
+        try:
+            attacker.call("hcs_$set_quota", root, 10**9)
+            return self._result(True, "user ring reached a privileged gate")
+        except (AccessViolation, KernelDenial):
+            return self._result(False, "ring bracket check held")
+
+
+STANDARD_ATTACKS: list[type[Attack]] = [
+    MalformedObjectAttack,
+    ResidueAttack,
+    SearchPathLeakAttack,
+    WakeupForgeryAttack,
+    ClassifiedExfiltrationAttack,
+    PrivilegedGateAttack,
+]
+
+
+@dataclass
+class PenetrationReport:
+    system_kind: str
+    results: list[AttackResult]
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for r in self.results if r.succeeded)
+
+    @property
+    def attempted(self) -> int:
+        return len(self.results)
+
+    def successful_attacks(self) -> list[str]:
+        return [r.attack for r in self.results if r.succeeded]
+
+
+def run_penetration_suite(system) -> PenetrationReport:
+    """Run every standard attack against a booted system."""
+    system.register_user("Wily", "Pentest", "wily-pw")
+    system.register_user("Victim", "Payroll", "victim-pw")
+    results = []
+    for attack_cls in STANDARD_ATTACKS:
+        results.append(attack_cls().run(system))
+    return PenetrationReport(
+        system_kind=system.config.supervisor.value, results=results
+    )

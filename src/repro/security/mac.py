@@ -1,0 +1,107 @@
+"""The MITRE compartment model: a military-classification lattice.
+
+The paper's footnote 2: "The formal model specifies a set of access
+constraints that restrict information flow in a hierarchy of
+compartments to patterns consistent with the national security
+classification scheme."  This is the model that became Bell-LaPadula.
+
+A :class:`SecurityLabel` is a sensitivity level plus a set of
+categories (compartments).  ``a dominates b`` iff ``a.level >= b.level``
+and ``a.categories ⊇ b.categories``; labels form a lattice under this
+partial order.
+
+The two mandatory rules the kernel enforces at its bottom layer
+(experiment E12):
+
+* **simple security** (no read up): a subject may read an object only
+  if the subject's label dominates the object's;
+* **\\*-property** (no write down): a subject may write an object only
+  if the object's label dominates the subject's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Conventional level names, lowest to highest.
+LEVEL_NAMES = ("unclassified", "confidential", "secret", "top_secret")
+
+
+@dataclass(frozen=True)
+class SecurityLabel:
+    """Sensitivity level + category set."""
+
+    level: int = 0
+    categories: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.level < len(LEVEL_NAMES):
+            raise ValueError(
+                f"level must be 0..{len(LEVEL_NAMES) - 1}, got {self.level}"
+            )
+        object.__setattr__(self, "categories", frozenset(self.categories))
+
+    @classmethod
+    def parse(cls, text: str) -> "SecurityLabel":
+        """Parse ``"secret:crypto,nato"`` style labels."""
+        level_part, _, cat_part = text.partition(":")
+        try:
+            level = LEVEL_NAMES.index(level_part.strip().lower())
+        except ValueError:
+            raise ValueError(f"unknown level {level_part!r}") from None
+        cats = frozenset(
+            c.strip() for c in cat_part.split(",") if c.strip()
+        )
+        return cls(level, cats)
+
+    def dominates(self, other: "SecurityLabel") -> bool:
+        return (
+            self.level >= other.level
+            and self.categories >= other.categories
+        )
+
+    def lub(self, other: "SecurityLabel") -> "SecurityLabel":
+        """Least upper bound (join)."""
+        return SecurityLabel(
+            max(self.level, other.level),
+            self.categories | other.categories,
+        )
+
+    def glb(self, other: "SecurityLabel") -> "SecurityLabel":
+        """Greatest lower bound (meet)."""
+        return SecurityLabel(
+            min(self.level, other.level),
+            self.categories & other.categories,
+        )
+
+    def __str__(self) -> str:
+        name = LEVEL_NAMES[self.level]
+        if self.categories:
+            return f"{name}:{','.join(sorted(self.categories))}"
+        return name
+
+
+#: The lattice bottom: unclassified, no categories.
+BOTTOM = SecurityLabel(0, frozenset())
+
+
+def dominates(a: SecurityLabel, b: SecurityLabel) -> bool:
+    """Module-level convenience for ``a.dominates(b)``."""
+    return a.dominates(b)
+
+
+def may_read(subject: SecurityLabel, obj: SecurityLabel) -> bool:
+    """Simple security: no read up."""
+    return subject.dominates(obj)
+
+
+def may_write(subject: SecurityLabel, obj: SecurityLabel) -> bool:
+    """*-property: no write down."""
+    return obj.dominates(subject)
+
+
+def flow_allowed(source: SecurityLabel, sink: SecurityLabel) -> bool:
+    """Information may flow from ``source`` to ``sink`` iff the sink's
+    label dominates the source's.  Reads and writes both reduce to this
+    single relation, which is what makes the lattice model auditable."""
+    return sink.dominates(source)

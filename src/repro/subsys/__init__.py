@@ -1,0 +1,23 @@
+"""User-constructed protected subsystems.
+
+The paper's fourth non-kernel category: "common mechanisms set up among
+a subgroup of system users by their mutual consent", protected in
+intermediate rings, entered through the same unified mechanism that
+creates processes at login.  The kernel provides the tools (rings,
+gates, the unified entry mechanism); it cannot and need not certify
+what consenting users build with them.
+"""
+
+from repro.subsys.process_creation import make_environment
+from repro.subsys.protected_subsystem import (
+    ProtectedSubsystem,
+    SubsystemEntry,
+    SubsystemManager,
+)
+
+__all__ = [
+    "make_environment",
+    "ProtectedSubsystem",
+    "SubsystemEntry",
+    "SubsystemManager",
+]

@@ -1,0 +1,36 @@
+"""The unified environment-creation mechanism (experiment E14).
+
+"A final example of a removal project is the exploration of a
+recently-realized equivalence between the mechanics of entering a
+protected subsystem and the mechanics of creating a new process in
+response to a user's log in.  The goal is to make a single mechanism do
+both tasks."
+
+:func:`make_environment` is that single mechanism: given a principal
+and a target ring, it manufactures a fresh execution environment — a
+process shell with its own descriptor segment and kernel-side state.
+Login calls it with the user's authenticated principal and the user
+ring; subsystem entry calls it with the *caller's* principal but the
+subsystem's (more privileged) ring and the subsystem's code mapped in.
+"""
+
+from __future__ import annotations
+
+from repro.proc.process import Process
+from repro.security.principal import Principal
+
+
+def make_environment(
+    services,
+    principal: Principal,
+    ring: int,
+    name: str,
+    creator: Process | None = None,
+) -> Process:
+    """Manufacture an execution environment (see module docstring)."""
+    process = Process(name, ring=ring, principal=principal)
+    services.created_processes[process.pid] = process
+    if creator is not None:
+        services.process_creators[process.pid] = creator.pid
+    services.pstate(process)
+    return process

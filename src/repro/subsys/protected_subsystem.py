@@ -1,0 +1,140 @@
+"""Protected subsystems in intermediate rings.
+
+A subsystem owns segments whose ring brackets make them writable only
+in the subsystem's ring; user-ring callers reach the subsystem only
+through its declared entries (ring-bracket call gates).  The kernel
+supplies the enforcement; the subsystem supplies the semantics.
+
+This is also the paper's tool against borrowed trojan horses: a
+borrowed program wrapped in a protected subsystem "reduce[s] the
+potential damage such a borrowed trojan horse can do" — the wrapped
+code runs with access to the subsystem's own segments but without the
+borrower's full authority, which the test suite demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import AccessDenied, InvalidArgument, NoSuchEntry
+from repro.hw.rings import RingBrackets
+from repro.security.mac import BOTTOM
+from repro.subsys.process_creation import make_environment
+
+
+@dataclass
+class SubsystemEntry:
+    """One declared entry point into a subsystem."""
+
+    name: str
+    handler: Callable[..., object]
+    #: Number of (integer/str) arguments the entry accepts.
+    n_args: int = 0
+
+
+@dataclass
+class ProtectedSubsystem:
+    """A user-constructed common mechanism living in ``ring``."""
+
+    name: str
+    ring: int
+    owner: str                       #: principal string of the builder
+    entries: dict[str, SubsystemEntry] = field(default_factory=dict)
+    #: Private data: visible only to code executing in <= ring.
+    private_data: dict[str, object] = field(default_factory=dict)
+    #: Who may enter (principal person names; empty = everyone).
+    members: set[str] = field(default_factory=set)
+    calls: int = 0
+
+    def declare(self, name: str, handler: Callable[..., object],
+                n_args: int = 0) -> None:
+        if name in self.entries:
+            raise InvalidArgument(f"entry {name!r} already declared")
+        self.entries[name] = SubsystemEntry(name, handler, n_args)
+
+    def brackets(self) -> RingBrackets:
+        """Ring brackets of the subsystem's gate segment: executes in
+        its own ring, callable from all higher rings through gates."""
+        return RingBrackets(self.ring, self.ring, 7)
+
+
+class SubsystemContext:
+    """What subsystem code sees while handling an entry: the caller's
+    identity, and the subsystem's private data — nothing else of the
+    caller's."""
+
+    def __init__(self, subsystem: ProtectedSubsystem, caller_principal) -> None:
+        self.subsystem = subsystem
+        self.caller = caller_principal
+        self.data = subsystem.private_data
+
+
+class SubsystemManager:
+    """Registry and entry mechanics (the kernel's contribution)."""
+
+    def __init__(self, services) -> None:
+        self.services = services
+        self._subsystems: dict[str, ProtectedSubsystem] = {}
+        self.entries_made = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def create(self, owner_process, name: str, ring: int = 2) -> ProtectedSubsystem:
+        if name in self._subsystems:
+            raise InvalidArgument(f"subsystem {name!r} already exists")
+        if not 1 <= ring < owner_process.ring:
+            raise InvalidArgument(
+                "a subsystem must live in a ring between the kernel's "
+                "and its owner's"
+            )
+        subsystem = ProtectedSubsystem(
+            name=name, ring=ring, owner=str(owner_process.principal)
+        )
+        self._subsystems[name] = subsystem
+        return subsystem
+
+    def get(self, name: str) -> ProtectedSubsystem:
+        try:
+            return self._subsystems[name]
+        except KeyError:
+            raise NoSuchEntry(f"no subsystem {name!r}") from None
+
+    # -- entry (the unified mechanism) ------------------------------------------------
+
+    def enter(self, caller_process, name: str, entry: str, *args):
+        """Enter a subsystem: the same environment-manufacturing step
+        as process creation, then the declared handler in the
+        subsystem's ring.
+        """
+        subsystem = self.get(name)
+        if subsystem.members and caller_process.principal.person not in subsystem.members:
+            raise AccessDenied(
+                f"{caller_process.principal} is not a member of {name!r}"
+            )
+        gate = subsystem.entries.get(entry)
+        if gate is None:
+            raise NoSuchEntry(f"subsystem {name!r} has no entry {entry!r}")
+        if len(args) != gate.n_args:
+            raise InvalidArgument(
+                f"{name}${entry} takes {gate.n_args} arguments"
+            )
+        # The unified mechanism: manufacture the protected environment.
+        environment = make_environment(
+            self.services,
+            caller_process.principal,
+            subsystem.ring,
+            f"{name}${entry}",
+            creator=caller_process,
+        )
+        self.entries_made += 1
+        subsystem.calls += 1
+        context = SubsystemContext(subsystem, caller_process.principal)
+        try:
+            return gate.handler(context, *args)
+        finally:
+            # The environment is transient (per entry), like a cross-
+            # ring call frame.
+            self.services.created_processes.pop(environment.pid, None)
+            self.services.process_creators.pop(environment.pid, None)
+            self.services.drop_pstate(environment)

@@ -1,0 +1,21 @@
+"""Non-kernel software that executes in the user rings.
+
+These modules are the *destinations* of the paper's removal projects:
+
+* :mod:`repro.user.linker` — dynamic linking (removed from the
+  supervisor, E1);
+* :mod:`repro.user.refnames` — reference-name management, the private
+  half of the split KST (E3);
+* :mod:`repro.user.search_rules` — tree-name following and search
+  rules (E3);
+* :mod:`repro.user.login` — user authentication via the unified
+  process-creation / subsystem-entry mechanism (E14);
+* :mod:`repro.user.shell` — a small command processor for the examples.
+
+Nothing here is trusted: an error in these modules damages only the
+computation that contains it.
+"""
+
+from repro.user.object_format import ObjectSegment, decode_object, encode_object
+
+__all__ = ["ObjectSegment", "decode_object", "encode_object"]

@@ -1,0 +1,136 @@
+"""The backup daemon — hierarchy dump and reload.
+
+Backup is one of the paper's "internal I/O functions" that remain with
+the system, but the *daemon* itself needs no privilege: it runs under
+the ``Backup.SysDaemon`` identity and sees exactly what the ACLs and
+the lattice grant that identity.  A directory that denies the daemon
+read access is simply (and correctly) absent from the dump — backup is
+subject to the same reference monitor as everyone else.
+
+The dump format is a list of flat records (a simulated tape).  On the
+legacy system the volume can be spooled through the real tape-drive
+gates; on the kernel system it is handed to the caller (external I/O
+being the network's job there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelDenial, ReproError
+
+
+@dataclass
+class BackupRecord:
+    path: str
+    kind: str                      # "directory" | "segment"
+    n_pages: int = 0
+    words: list[int] = field(default_factory=list)
+    acl: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class BackupVolume:
+    dumped_at: int
+    records: list[BackupRecord] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class BackupDaemon:
+    """Dumps and reloads subtrees through ordinary gates."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+
+    # -- dumping -----------------------------------------------------------
+
+    def dump(self, root_path: str) -> BackupVolume:
+        volume = BackupVolume(
+            dumped_at=self.session.system.clock.now
+        )
+        self._dump_dir(root_path, volume)
+        return volume
+
+    def _dump_dir(self, path: str, volume: BackupVolume) -> None:
+        try:
+            entries = self.session.list_dir(path)
+        except KernelDenial:
+            volume.skipped.append(path)
+            return
+        volume.records.append(BackupRecord(path=path, kind="directory"))
+        for entry in entries:
+            child = f"{path}>{entry['name']}"
+            if entry["type"] == "directory":
+                self._dump_dir(child, volume)
+            else:
+                self._dump_segment(child, volume)
+
+    def _dump_segment(self, path: str, volume: BackupVolume) -> None:
+        session = self.session
+        try:
+            status = session.status(path)
+            segno = session.initiate(path)
+            n_pages = status.get("n_pages", 1)
+            words = session.read_words(
+                segno, n_pages * session.system.config.page_size
+            )
+            dir_segno, name = session.resolve_parent(path)
+            acl = session.call("hcs_$acl_list", dir_segno, name)
+        except (KernelDenial, ReproError):
+            volume.skipped.append(path)
+            return
+        volume.records.append(
+            BackupRecord(
+                path=path, kind="segment", n_pages=n_pages,
+                words=words, acl=list(acl),
+            )
+        )
+
+    # -- reloading -----------------------------------------------------------
+
+    def reload(self, volume: BackupVolume, under: str) -> int:
+        """Recreate a dumped subtree below ``under``; returns how many
+        records were restored."""
+        if not volume.records:
+            return 0
+        base = volume.records[0].path
+        restored = 0
+        for record in volume.records:
+            suffix = record.path[len(base):]
+            target = under + suffix
+            try:
+                if record.kind == "directory":
+                    if suffix:  # the root of the dump maps onto `under`
+                        self.session.create_dir(target)
+                else:
+                    segno = self.session.create_segment(
+                        target, n_pages=record.n_pages
+                    )
+                    self.session.write_words(segno, record.words)
+                    for pattern, mode in record.acl:
+                        self.session.set_acl(target, pattern, mode)
+                restored += 1
+            except KernelDenial:
+                continue
+        return restored
+
+    # -- spooling to tape (legacy systems only) ---------------------------------
+
+    def spool_to_tape(self, volume: BackupVolume, drive: str = "tape1") -> int:
+        """Write the volume through the legacy tape gates; returns the
+        number of tape records written."""
+        session = self.session
+        session.call("ios_$tape_attach", drive)
+        try:
+            written = 0
+            for record in volume.records:
+                header = [1 if record.kind == "directory" else 2,
+                          record.n_pages, len(record.words)]
+                session.call("ios_$tape_write", drive, header + record.words)
+                written += 1
+            return written
+        finally:
+            session.call("ios_$tape_detach", drive)

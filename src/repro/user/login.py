@@ -1,0 +1,96 @@
+"""Login as non-privileged user-ring code (experiment E14).
+
+The paper: the "exploration of a recently-realized equivalence between
+the mechanics of entering a protected subsystem and the mechanics of
+creating a new process in response to a user's log in.  The goal is to
+make a single mechanism do both tasks, with the result that the large
+collection of privileged, protected code used to authenticate and log
+in users would become non-privileged code."
+
+This listener is that non-privileged code.  It runs as an ordinary
+user-ring program under a daemon identity; the *only* privileged step
+in the whole flow is the kernel's ``hcs_$proc_create`` gate, which
+verifies the password and mints the process.  Everything the legacy
+answering service did in ring 0 — the dialogue, the session table, the
+greeting, failure accounting — happens out here where a bug cannot
+violate anyone else's protection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AuthenticationError, KernelDenial
+
+
+@dataclass
+class UserSession:
+    """One logged-in user, tracked entirely in the user ring."""
+
+    session_id: int
+    person: str
+    project: str
+    pid: int
+    source: str
+    logged_in_at: int
+
+
+class LoginListener:
+    """The user-ring replacement for the answering service."""
+
+    greeting = "Multics 25.0: security kernel development system"
+
+    def __init__(self, supervisor, listener_process) -> None:
+        self._sup = supervisor
+        self._process = listener_process
+        self._ids = itertools.count(1)
+        self.sessions: dict[int, UserSession] = {}
+        self.failed_attempts = 0
+        self.transcript: list[str] = []
+
+    # -- the dialogue --------------------------------------------------------
+
+    def login(self, person: str, project: str, password: str,
+              source: str = "network") -> UserSession:
+        """Run the login dialogue; one kernel call does the trust step."""
+        self.transcript.append(f"login {person} {project} from {source}")
+        try:
+            pid = self._sup.call(
+                self._process,
+                "hcs_$proc_create",
+                f"{person}.{project}",
+                person,
+                project,
+                password,
+            )
+        except (AuthenticationError, KernelDenial):
+            self.failed_attempts += 1
+            self.transcript.append(f"login incorrect: {person}")
+            raise
+        session = UserSession(
+            session_id=next(self._ids),
+            person=person,
+            project=project,
+            pid=pid,
+            source=source,
+            logged_in_at=self._sup.services.sim.clock.now,
+        )
+        self.sessions[session.session_id] = session
+        self.transcript.append(self.greeting)
+        return session
+
+    def logout(self, session_id: int) -> None:
+        session = self.sessions.pop(session_id, None)
+        if session is None:
+            raise KeyError(f"no session {session_id}")
+        self._sup.call(self._process, "hcs_$proc_destroy", session.pid)
+        self.transcript.append(f"logout {session.person}.{session.project}")
+
+    def whoami(self, session_id: int) -> str:
+        session = self.sessions[session_id]
+        return f"{session.person}.{session.project}"
+
+    @property
+    def active_count(self) -> int:
+        return len(self.sessions)

@@ -1,0 +1,207 @@
+"""The standard object segment format.
+
+An object segment carries code, a *definitions* section (exported entry
+points), and a *links* section (symbolic references to other segments,
+``"refname$entry"``).  It has a word encoding so that an object segment
+really is user-constructed *data*: the linker — wherever it runs —
+must parse words a user wrote.
+
+That is exactly the paper's point about the in-kernel linker: "the
+linker having to accept user-constructed code segments as input data;
+the chances of such a complex 'argument', if maliciously malstructured,
+causing the linker to malfunction while executing in the supervisor
+were demonstrated to be very high".  Two decoders are provided:
+
+* :func:`decode_object` — defensive: every length and offset is
+  validated; malformed input raises :class:`ObjectFormatError`.
+* :func:`decode_object_trusting` — period-faithful: it trusts the
+  header counts the way the historical supervisor code did.  On
+  malicious input it malfunctions (Python exceptions standing in for
+  the supervisor taking a fault in ring 0).  Only the *legacy*
+  supervisor uses it (experiment E11).
+
+Word layout::
+
+    [MAGIC, VERSION, n_code, n_defs, n_links]
+    n_code  x  [opcode, a, b, c]
+    n_defs  x  [name_len, name chars ..., entry_offset]
+    n_links x  [sym_len, sym chars ...]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ObjectFormatError
+from repro.hw.cpu import Instruction, Op
+
+MAGIC = 0o525252
+VERSION = 2
+
+_OPCODES = list(Op)
+_OP_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+
+
+@dataclass
+class ObjectSegment:
+    """Structured form of an object segment."""
+
+    name: str
+    code: list[Instruction] = field(default_factory=list)
+    #: Exported entry points: name -> code offset.
+    definitions: dict[str, int] = field(default_factory=dict)
+    #: Symbolic outward references, each ``"refname$entry"``.
+    links: list[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Internal consistency: definitions land inside the code,
+        link symbols are well-formed."""
+        for name, offset in self.definitions.items():
+            if not 0 <= offset < max(len(self.code), 1):
+                raise ObjectFormatError(
+                    f"definition {name!r} points outside the code "
+                    f"({offset} of {len(self.code)})"
+                )
+        for sym in self.links:
+            parse_symbol(sym)
+
+
+def parse_symbol(sym: str) -> tuple[str, str]:
+    """Split ``"refname$entry"``; entry defaults to the refname."""
+    if not sym or "$" not in sym:
+        if not sym:
+            raise ObjectFormatError("empty link symbol")
+        return sym, sym
+    ref, _, entry = sym.partition("$")
+    if not ref or not entry:
+        raise ObjectFormatError(f"malformed link symbol {sym!r}")
+    return ref, entry
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+def _encode_str(text: str) -> list[int]:
+    return [len(text)] + [ord(c) for c in text]
+
+
+def encode_object(obj: ObjectSegment) -> list[int]:
+    """Serialize to words."""
+    obj.validate()
+    words = [MAGIC, VERSION, len(obj.code), len(obj.definitions), len(obj.links)]
+    for inst in obj.code:
+        words.extend([_OP_INDEX[inst.op], inst.a, inst.b, inst.c])
+    for name, offset in obj.definitions.items():
+        words.extend(_encode_str(name))
+        words.append(offset)
+    for sym in obj.links:
+        words.extend(_encode_str(sym))
+    return words
+
+
+# ---------------------------------------------------------------------------
+# defensive decoding (the user-ring linker's parser)
+# ---------------------------------------------------------------------------
+
+class _Reader:
+    def __init__(self, words: list[int]) -> None:
+        self.words = words
+        self.pos = 0
+
+    def take(self) -> int:
+        if self.pos >= len(self.words):
+            raise ObjectFormatError("object segment truncated")
+        word = self.words[self.pos]
+        self.pos += 1
+        return word
+
+    def take_str(self, max_len: int = 64) -> str:
+        length = self.take()
+        if not 0 < length <= max_len:
+            raise ObjectFormatError(f"bad string length {length}")
+        chars = []
+        for _ in range(length):
+            code = self.take()
+            if not 32 <= code < 127:
+                raise ObjectFormatError(f"bad character code {code}")
+            chars.append(chr(code))
+        return "".join(chars)
+
+
+def decode_object(words: list[int], name: str = "object") -> ObjectSegment:
+    """Parse with full validation; raises :class:`ObjectFormatError`."""
+    reader = _Reader(list(words))
+    if reader.take() != MAGIC:
+        raise ObjectFormatError("bad magic number")
+    if reader.take() != VERSION:
+        raise ObjectFormatError("unsupported object version")
+    n_code = reader.take()
+    n_defs = reader.take()
+    n_links = reader.take()
+    for count, label in ((n_code, "code"), (n_defs, "defs"), (n_links, "links")):
+        if count < 0 or count > 100_000:
+            raise ObjectFormatError(f"implausible {label} count {count}")
+    code = []
+    for _ in range(n_code):
+        opcode = reader.take()
+        if not 0 <= opcode < len(_OPCODES):
+            raise ObjectFormatError(f"unknown opcode {opcode}")
+        a, b, c = reader.take(), reader.take(), reader.take()
+        code.append(Instruction(_OPCODES[opcode], a, b, c))
+    definitions: dict[str, int] = {}
+    for _ in range(n_defs):
+        defname = reader.take_str()
+        offset = reader.take()
+        if not 0 <= offset < max(n_code, 1):
+            raise ObjectFormatError(
+                f"definition {defname!r} offset {offset} outside code"
+            )
+        if defname in definitions:
+            raise ObjectFormatError(f"duplicate definition {defname!r}")
+        definitions[defname] = offset
+    links = []
+    for _ in range(n_links):
+        sym = reader.take_str()
+        parse_symbol(sym)
+        links.append(sym)
+    obj = ObjectSegment(name=name, code=code, definitions=definitions, links=links)
+    obj.definitions = definitions
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# trusting decoding (the historical in-kernel parser; legacy only)
+# ---------------------------------------------------------------------------
+
+def decode_object_trusting(words: list[int], name: str = "object") -> ObjectSegment:
+    """Parse the way the old supervisor did: trust the header.
+
+    No bounds or sanity checks — a malstructured segment drives this
+    code off the end of its input or into nonsense opcodes, i.e. the
+    supervisor malfunctions while executing in ring 0.  Kept verbatim
+    for the legacy supervisor so experiment E11 can demonstrate the
+    vulnerability class the linker-removal project eliminated.
+    """
+    pos = 5
+    n_code, n_defs, n_links = words[2], words[3], words[4]
+    code = []
+    for _ in range(n_code):
+        opcode, a, b, c = words[pos], words[pos + 1], words[pos + 2], words[pos + 3]
+        code.append(Instruction(_OPCODES[opcode], a, b, c))
+        pos += 4
+    definitions: dict[str, int] = {}
+    for _ in range(n_defs):
+        length = words[pos]
+        pos += 1
+        defname = "".join(chr(words[pos + i]) for i in range(length))
+        pos += length
+        definitions[defname] = words[pos]
+        pos += 1
+    links = []
+    for _ in range(n_links):
+        length = words[pos]
+        pos += 1
+        links.append("".join(chr(words[pos + i]) for i in range(length)))
+        pos += length
+    return ObjectSegment(name=name, code=code, definitions=definitions, links=links)

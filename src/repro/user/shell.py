@@ -1,0 +1,128 @@
+"""A small command processor, entirely user-ring software.
+
+The shell belongs to the paper's first non-kernel category: a
+system-provided program executing as part of the user's computation.
+It holds no special privilege — every effect it has goes through the
+same gates any user program would call — and "a user unsatisfied with
+[its] trustworthiness may choose not to use [it], substituting his own
+programs."
+
+Commands::
+
+    cwd                      print the working directory
+    cd PATH                  change the working directory
+    ls [PATH]                list a directory
+    mkdir PATH               create a directory
+    create PATH [PAGES]      create a segment
+    delete PATH              delete an entry
+    setacl PATH PATTERN MODE change an ACL
+    status PATH              show branch status
+    echo TEXT...             print text
+    run PATH [ENTRY [ARGS]]  execute an installed object segment
+    who                      print the session principal
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class Shell:
+    """Interprets command lines against a :class:`repro.system.Session`."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.output: list[str] = []
+        self.status_code = 0
+
+    def emit(self, line: str) -> None:
+        self.output.append(line)
+
+    def execute(self, line: str) -> int:
+        """Run one command; returns 0 on success."""
+        self.status_code = 0
+        words = line.split()
+        if not words or words[0].startswith("#"):
+            return 0
+        command, args = words[0], words[1:]
+        handler = getattr(self, f"cmd_{command}", None)
+        if handler is None:
+            self.emit(f"shell: unknown command {command!r}")
+            self.status_code = 1
+            return 1
+        try:
+            handler(args)
+        except ReproError as error:
+            self.emit(f"{command}: {error}")
+            self.status_code = 1
+        return self.status_code
+
+    def run_script(self, text: str) -> int:
+        """Run commands line by line; stops at the first failure."""
+        for line in text.splitlines():
+            if self.execute(line.strip()):
+                return self.status_code
+        return 0
+
+    # -- commands -------------------------------------------------------------
+
+    def cmd_cwd(self, args: list[str]) -> None:
+        self.emit(self.session.working_dir())
+
+    def cmd_cd(self, args: list[str]) -> None:
+        self._need(args, 1, "cd PATH")
+        self.session.set_working_dir(args[0])
+
+    def cmd_ls(self, args: list[str]) -> None:
+        path = args[0] if args else ""
+        for entry in self.session.list_dir(path):
+            self.emit(f"{entry['type'][0]} {entry['name']}")
+
+    def cmd_mkdir(self, args: list[str]) -> None:
+        self._need(args, 1, "mkdir PATH")
+        self.session.create_dir(args[0])
+
+    def cmd_create(self, args: list[str]) -> None:
+        if not args:
+            raise_usage("create PATH [PAGES]")
+        pages = int(args[1]) if len(args) > 1 else 1
+        self.session.create_segment(args[0], n_pages=pages)
+
+    def cmd_delete(self, args: list[str]) -> None:
+        self._need(args, 1, "delete PATH")
+        self.session.delete(args[0])
+
+    def cmd_setacl(self, args: list[str]) -> None:
+        self._need(args, 3, "setacl PATH PATTERN MODE")
+        self.session.set_acl(args[0], args[1], args[2])
+
+    def cmd_status(self, args: list[str]) -> None:
+        self._need(args, 1, "status PATH")
+        for key, value in sorted(self.session.status(args[0]).items()):
+            self.emit(f"{key}: {value}")
+
+    def cmd_echo(self, args: list[str]) -> None:
+        self.emit(" ".join(args))
+
+    def cmd_who(self, args: list[str]) -> None:
+        self.emit(str(self.session.principal))
+
+    def cmd_run(self, args: list[str]) -> None:
+        if not args:
+            raise_usage("run PATH [ENTRY [ARGS...]]")
+        segno = self.session.initiate(args[0])
+        entry = args[1] if len(args) > 1 else "main"
+        call_args = [int(a) for a in args[2:]]
+        result = self.session.run_program(segno, entry, call_args)
+        self.emit(str(result))
+
+    @staticmethod
+    def _need(args: list[str], count: int, usage: str) -> None:
+        if len(args) != count:
+            raise_usage(usage)
+
+
+def raise_usage(usage: str) -> None:
+    from repro.errors import UserRingError
+
+    raise UserRingError(f"usage: {usage}")

@@ -1,0 +1,26 @@
+"""Virtual memory: segment activation and page control.
+
+The heart of experiments E5 (sequential vs dedicated-process page
+control) and E7 (policy/mechanism separation by rings).
+"""
+
+from repro.vm.page_control import (
+    PageControl,
+    ParallelPageControl,
+    SequentialPageControl,
+    make_page_control,
+)
+from repro.vm.replacement import ClockPolicy, FIFOPolicy, LRUPolicy
+from repro.vm.segment_control import ActiveSegment, ActiveSegmentTable
+
+__all__ = [
+    "PageControl",
+    "ParallelPageControl",
+    "SequentialPageControl",
+    "make_page_control",
+    "ClockPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "ActiveSegment",
+    "ActiveSegmentTable",
+]

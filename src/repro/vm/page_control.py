@@ -1,0 +1,436 @@
+"""Page control: servicing missing-page faults.
+
+Two complete designs, matching the paper's description (experiment E5):
+
+**Sequential** (:class:`SequentialPageControl`) — the current-Multics
+design the paper criticizes.  The whole cascade runs *in the faulting
+process*: if no core frame is free it must first move a page from core
+to the bulk store; if the bulk store is full it must first move a page
+from the bulk store (via primary memory) to disk; only then can it
+bring in the wanted page.  The faulting process executes every step.
+
+**Parallel** (:class:`ParallelPageControl`) — the paper's new design.
+One dedicated kernel process (the *core freer*) "runs in a loop making
+sure that some small number of free primary memory blocks always
+exist"; a second (the *bulk freer*) "keeps space free on the bulk store
+by moving pages to disk when required".  The faulting process "can just
+wait until a primary memory block is free and then initiate the
+transfer of the desired page into primary memory".
+
+Both designs share the same data-movement helpers, so the measured
+difference is purely structural: how many steps the *faulting process*
+performs, and how long a fault takes under contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.config import PageControlKind, SystemConfig
+from repro.hw.clock import Simulator
+from repro.hw.memory import MemoryHierarchy, OutOfFrames
+from repro.proc.ipc import Block, Charge, Now, Wakeup
+from repro.proc.process import Process
+from repro.proc.scheduler import TrafficController
+from repro.vm.replacement import Candidate, ReplacementPolicy, make_policy
+from repro.vm.segment_control import ActiveSegment, ActiveSegmentTable, PageHome
+
+
+@dataclass
+class ResidentPage:
+    """Page control's record of one page currently in a core frame."""
+
+    aseg: ActiveSegment
+    pageno: int
+    loaded_at: int
+
+
+@dataclass
+class FaultRecord:
+    """Measurement of one serviced fault (consumed by experiment E5)."""
+
+    process: str
+    started: int
+    finished: int
+    #: Page-moving steps executed by the *faulting process itself*.
+    steps_in_faulter: int
+
+    @property
+    def latency(self) -> int:
+        return self.finished - self.started
+
+
+class PageControl:
+    """Shared state and data movement for both designs."""
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: TrafficController,
+        hierarchy: MemoryHierarchy,
+        ast: ActiveSegmentTable,
+        config: SystemConfig,
+        policy: ReplacementPolicy | None = None,
+    ) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.hierarchy = hierarchy
+        self.ast = ast
+        self.config = config
+        self.policy = policy or make_policy("clock")
+        #: (uid, pageno) -> ResidentPage for every page in core.
+        self.resident: dict[tuple[int, int], ResidentPage] = {}
+        #: FIFO census of pages on the bulk store.
+        self._bulk_pages: list[tuple[ActiveSegment, int]] = []
+        self._io_seq = itertools.count()
+        # Metrics.
+        self.faults_serviced = 0
+        self.core_evictions = 0
+        self.bulk_evictions = 0
+        self.fault_records: list[FaultRecord] = []
+
+    # ------------------------------------------------------------------
+    # data movement primitives (no simulated waiting here)
+    # ------------------------------------------------------------------
+
+    def _page_in_move(self, aseg: ActiveSegment, pageno: int) -> int:
+        """Move a page from its home into a free core frame.
+
+        Returns the transfer cost.  Raises :class:`OutOfFrames` if core
+        is full (callers make room first).
+        """
+        home = aseg.homes[pageno]
+        if home is None:
+            return 0  # already in core (another faulter won the race)
+        src = self.hierarchy.level(home.level)
+        dst_frame = self.hierarchy.transfer(src, home.frame, self.hierarchy.core)
+        aseg.homes[pageno] = None
+        aseg.ptws[pageno].place(dst_frame)
+        if home.level == "bulk":
+            self._bulk_census_remove(aseg, pageno)
+        self.resident[(aseg.uid, pageno)] = ResidentPage(
+            aseg, pageno, self.sim.clock.now
+        )
+        self.policy.note_loaded(hash((aseg.uid, pageno)), self.sim.clock.now)
+        return self.hierarchy.transfer_cost(src, self.hierarchy.core)
+
+    def _evict_core_move(self, rp: ResidentPage) -> int:
+        """Move one resident page core -> bulk.  Bulk must have room."""
+        ptw = rp.aseg.ptws[rp.pageno]
+        assert ptw.in_core and ptw.frame is not None
+        bulk_frame = self.hierarchy.transfer(
+            self.hierarchy.core, ptw.frame, self.hierarchy.bulk
+        )
+        ptw.evict()
+        rp.aseg.homes[rp.pageno] = PageHome("bulk", bulk_frame)
+        self._bulk_pages.append((rp.aseg, rp.pageno))
+        del self.resident[(rp.aseg.uid, rp.pageno)]
+        self.core_evictions += 1
+        return self.hierarchy.transfer_cost(self.hierarchy.core, self.hierarchy.bulk)
+
+    def _evict_bulk_move(self) -> int:
+        """Move the oldest bulk-store page bulk -> disk.
+
+        Historically this went *via primary memory*; the cost charged is
+        the sum of both transfers even though the simulation moves the
+        data directly.
+        """
+        if not self._bulk_pages:
+            raise OutOfFrames("bulk store has no evictable page")
+        aseg, pageno = self._bulk_pages.pop(0)
+        home = aseg.homes[pageno]
+        assert home is not None and home.level == "bulk"
+        disk_frame = self.hierarchy.transfer(
+            self.hierarchy.bulk, home.frame, self.hierarchy.disk
+        )
+        aseg.homes[pageno] = PageHome("disk", disk_frame)
+        self.bulk_evictions += 1
+        return self.hierarchy.transfer_cost(
+            self.hierarchy.bulk, self.hierarchy.core
+        ) + self.hierarchy.transfer_cost(self.hierarchy.core, self.hierarchy.disk)
+
+    def deactivate_segment(self, aseg: ActiveSegment) -> int:
+        """Write every resident page back to a disk home and evict it
+        (segment deactivation, e.g. at process destruction).
+
+        Returns the number of pages written back.  Note the written
+        pages now live in disk frames; whether those frames are cleared
+        when later freed is the residue question of experiment E11.
+        """
+        written = 0
+        for pageno in aseg.resident_pages():
+            ptw = aseg.ptws[pageno]
+            disk_frame = self.hierarchy.disk.allocate()
+            self.hierarchy.disk.write_page(
+                disk_frame, self.hierarchy.core.read_page(ptw.frame)
+            )
+            self.hierarchy.core.free(ptw.frame)
+            ptw.evict()
+            aseg.homes[pageno] = PageHome("disk", disk_frame)
+            self.resident.pop((aseg.uid, pageno), None)
+            written += 1
+        return written
+
+    def flush_segment(self, aseg: ActiveSegment) -> None:
+        """Throw every page of a segment out of core and off the bulk
+        store census (used when a segment is deleted)."""
+        for pageno in aseg.resident_pages():
+            ptw = aseg.ptws[pageno]
+            self.hierarchy.core.free(ptw.frame)
+            ptw.evict()
+            self.resident.pop((aseg.uid, pageno), None)
+        self._bulk_pages = [
+            (seg, page) for seg, page in self._bulk_pages if seg is not aseg
+        ]
+
+    def _bulk_census_remove(self, aseg: ActiveSegment, pageno: int) -> None:
+        try:
+            self._bulk_pages.remove((aseg, pageno))
+        except ValueError:
+            pass
+
+    def _choose_core_victim(self) -> ResidentPage:
+        """Ask the replacement policy for a victim among resident pages."""
+        pages = list(self.resident.values())
+        if not pages:
+            raise OutOfFrames("no resident page to evict")
+        candidates = [
+            Candidate(
+                slot=hash((rp.aseg.uid, rp.pageno)),
+                used=rp.aseg.ptws[rp.pageno].used,
+                modified=rp.aseg.ptws[rp.pageno].modified,
+                loaded_at=rp.loaded_at,
+            )
+            for rp in pages
+        ]
+        index = self.policy.select(candidates)
+        if not 0 <= index < len(pages):
+            # A broken (or malicious ring-2) policy returned nonsense;
+            # the mechanism substitutes FIFO rather than malfunction.
+            index = min(range(len(pages)), key=lambda i: pages[i].loaded_at)
+        victim = pages[index]
+        # Clock-hand sweep: passing over a page clears its used bit.
+        for rp in pages:
+            rp.aseg.ptws[rp.pageno].used = False
+        return victim
+
+    # ------------------------------------------------------------------
+    # simulated I/O wait
+    # ------------------------------------------------------------------
+
+    def _io(self, cost: int):
+        """Generator: wait ``cost`` cycles for an I/O transfer."""
+        channel = self.scheduler.create_channel(f"pc.io.{next(self._io_seq)}")
+        self.sim.schedule(
+            cost, lambda: self.scheduler.send_wakeup(channel, sender=None)
+        )
+        yield Block(channel)
+
+    # ------------------------------------------------------------------
+    # the workload-facing reference helper
+    # ------------------------------------------------------------------
+
+    def touch(self, process: Process, aseg: ActiveSegment, pageno: int,
+              write: bool = False):
+        """Generator: one memory reference by ``process``; faults if the
+        page is out of core."""
+        ptw = aseg.ptws[pageno]
+        if not ptw.in_core:
+            yield from self.fault(process, aseg, pageno)
+            ptw = aseg.ptws[pageno]
+        ptw.used = True
+        if write:
+            ptw.modified = True
+        yield Charge(self.config.costs.core_access)
+
+    # ------------------------------------------------------------------
+    # synchronous servicing (for CPU-driven execution outside the DES)
+    # ------------------------------------------------------------------
+
+    def service_sync(self, aseg: ActiveSegment, pageno: int) -> int:
+        """Service a fault immediately, returning the cycle cost.
+
+        Used by the CPU's missing-page callback, where execution is
+        synchronous.  Both designs do the same data movement here; the
+        structural difference between them is only observable in the
+        discrete-event path.
+        """
+        cost = 0
+        while True:
+            if aseg.ptws[pageno].in_core:
+                return cost
+            if self.hierarchy.core.free_count == 0:
+                if self.hierarchy.bulk.free_count == 0:
+                    cost += self._evict_bulk_move()
+                cost += self._evict_core_move(self._choose_core_victim())
+                continue
+            try:
+                cost += self._page_in_move(aseg, pageno)
+            except OutOfFrames:
+                continue
+            self.faults_serviced += 1
+            return cost
+
+    # ------------------------------------------------------------------
+
+    def fault(self, process: Process, aseg: ActiveSegment, pageno: int):
+        """Generator servicing one missing-page fault for ``process``."""
+        raise NotImplementedError
+
+    def install(self) -> None:
+        """Create any dedicated kernel processes the design needs."""
+
+
+class SequentialPageControl(PageControl):
+    """The old design: the whole cascade runs in the faulting process."""
+
+    kind = "sequential"
+
+    def fault(self, process: Process, aseg: ActiveSegment, pageno: int):
+        process.page_faults += 1
+        started = yield Now()
+        steps = 0
+        while True:
+            if aseg.ptws[pageno].in_core:
+                break  # another process brought it in meanwhile
+            if self.hierarchy.core.free_count == 0:
+                # Make room — and possibly make room to make room.
+                if self.hierarchy.bulk.free_count == 0:
+                    cost = self._evict_bulk_move()
+                    steps += 1
+                    yield from self._io(cost)
+                    continue
+                try:
+                    victim = self._choose_core_victim()
+                    cost = self._evict_core_move(victim)
+                except OutOfFrames:
+                    continue
+                steps += 1
+                yield from self._io(cost)
+                continue
+            try:
+                cost = self._page_in_move(aseg, pageno)
+            except OutOfFrames:
+                continue  # lost a race; start over
+            steps += 1
+            yield from self._io(cost)
+            break
+        finished = yield Now()
+        self.faults_serviced += 1
+        process.fault_wait_cycles += finished - started
+        self.fault_records.append(
+            FaultRecord(process.name, started, finished, steps)
+        )
+
+
+class ParallelPageControl(PageControl):
+    """The new design: dedicated freer processes keep space available."""
+
+    kind = "parallel"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.core_needed = self.scheduler.create_channel("pc.core_needed")
+        self.core_freed = self.scheduler.create_channel("pc.core_freed")
+        self.bulk_needed = self.scheduler.create_channel("pc.bulk_needed")
+        self.bulk_freed = self.scheduler.create_channel("pc.bulk_freed")
+        self.core_freer: Process | None = None
+        self.bulk_freer: Process | None = None
+
+    def install(self) -> None:
+        """Admit the two dedicated kernel processes."""
+        self.core_freer = Process(
+            "core_freer", body=self._core_freer_body, ring=0, dedicated=True
+        )
+        self.bulk_freer = Process(
+            "bulk_freer", body=self._bulk_freer_body, ring=0, dedicated=True
+        )
+        self.scheduler.add_process(self.core_freer)
+        self.scheduler.add_process(self.bulk_freer)
+
+    # -- the dedicated processes ----------------------------------------
+
+    def _core_freer_body(self, proc: Process):
+        """Keep at least ``free_core_target`` core frames free."""
+        target = self.config.free_core_target
+        while True:
+            if self.hierarchy.core.free_count >= target or not self.resident:
+                yield Block(self.core_needed)
+                continue
+            if self.hierarchy.bulk.free_count == 0:
+                # Drive the bulk freer, then wait for it.
+                yield Wakeup(self.bulk_needed)
+                yield Block(self.bulk_freed)
+                continue
+            try:
+                victim = self._choose_core_victim()
+                cost = self._evict_core_move(victim)
+            except OutOfFrames:
+                continue
+            yield from self._io(cost)
+            # Tell one waiting faulter a frame is available.
+            yield Wakeup(self.core_freed)
+
+    def _bulk_freer_body(self, proc: Process):
+        """Keep at least ``free_bulk_target`` bulk frames free."""
+        target = self.config.free_bulk_target
+        while True:
+            if self.hierarchy.bulk.free_count >= target or not self._bulk_pages:
+                yield Block(self.bulk_needed)
+                continue
+            cost = self._evict_bulk_move()
+            yield from self._io(cost)
+            yield Wakeup(self.bulk_freed)
+
+    # -- the faulting path -------------------------------------------------
+
+    def fault(self, process: Process, aseg: ActiveSegment, pageno: int):
+        """The greatly simplified path: wait for a frame, transfer."""
+        process.page_faults += 1
+        started = yield Now()
+        steps = 0
+        while True:
+            if aseg.ptws[pageno].in_core:
+                break
+            if self.hierarchy.core.free_count == 0:
+                yield Wakeup(self.core_needed)
+                yield Block(self.core_freed)
+                continue
+            try:
+                cost = self._page_in_move(aseg, pageno)
+            except OutOfFrames:
+                continue
+            steps += 1
+            # Falling below the low-water mark pre-arms the freer.
+            if self.hierarchy.core.free_count < self.config.free_core_target:
+                yield Wakeup(self.core_needed)
+            yield from self._io(cost)
+            break
+        finished = yield Now()
+        self.faults_serviced += 1
+        process.fault_wait_cycles += finished - started
+        self.fault_records.append(
+            FaultRecord(process.name, started, finished, steps)
+        )
+
+
+def make_page_control(
+    kind: PageControlKind,
+    sim: Simulator,
+    scheduler: TrafficController,
+    hierarchy: MemoryHierarchy,
+    ast: ActiveSegmentTable,
+    config: SystemConfig,
+    policy: ReplacementPolicy | None = None,
+) -> PageControl:
+    """Build (and for the parallel design, install) page control."""
+    cls = {
+        PageControlKind.SEQUENTIAL: SequentialPageControl,
+        PageControlKind.PARALLEL: ParallelPageControl,
+    }[kind]
+    control = cls(sim, scheduler, hierarchy, ast, config, policy)
+    control.install()
+    return control

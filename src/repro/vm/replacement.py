@@ -1,0 +1,119 @@
+"""Page replacement policies.
+
+A policy chooses which resident page to evict.  Candidates are
+presented as :class:`Candidate` records; the policy returns an index
+into the candidate list.  Policies never touch page *contents* —
+the policy/mechanism split of experiment E7 makes that impossibility
+structural, but even the in-kernel policies here are written against
+the same narrow interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass
+class Candidate:
+    """What a replacement policy may know about a resident page."""
+
+    slot: int          #: opaque identity within this decision round
+    used: bool         #: hardware used bit
+    modified: bool     #: hardware modified bit
+    loaded_at: int     #: time the page came into core
+
+
+class ReplacementPolicy(Protocol):
+    """Interface every policy implements."""
+
+    name: str
+
+    def select(self, candidates: list[Candidate]) -> int:
+        """Return the index of the victim in ``candidates``."""
+        ...
+
+    def note_loaded(self, slot: int, time: int) -> None:
+        """Observe that a page was loaded (for policies keeping state)."""
+        ...
+
+
+class FIFOPolicy:
+    """Evict the page longest in core, regardless of use."""
+
+    name = "fifo"
+
+    def select(self, candidates: list[Candidate]) -> int:
+        if not candidates:
+            raise ValueError("no candidates")
+        best = min(range(len(candidates)), key=lambda i: candidates[i].loaded_at)
+        return best
+
+    def note_loaded(self, slot: int, time: int) -> None:
+        pass
+
+
+class ClockPolicy:
+    """Second-chance: prefer pages with the used bit off.
+
+    The caller clears the used bit of pages the policy passes over
+    (that is the 'clock hand sweep'); the policy itself only reads the
+    bits it is given, keeping the interface one-way.
+    """
+
+    name = "clock"
+
+    def select(self, candidates: list[Candidate]) -> int:
+        if not candidates:
+            raise ValueError("no candidates")
+        unused = [i for i, c in enumerate(candidates) if not c.used]
+        if unused:
+            # Oldest unused page.
+            return min(unused, key=lambda i: candidates[i].loaded_at)
+        # Everything recently used: fall back to FIFO order.
+        return min(range(len(candidates)), key=lambda i: candidates[i].loaded_at)
+
+    def note_loaded(self, slot: int, time: int) -> None:
+        pass
+
+
+class LRUPolicy:
+    """Least-recently-used, approximated by used-bit sampling.
+
+    Each selection round, pages with the used bit set are treated as
+    referenced 'now'; the policy keeps a recency estimate per slot.
+    """
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._last_seen: dict[int, int] = {}
+        self._round = 0
+
+    def select(self, candidates: list[Candidate]) -> int:
+        if not candidates:
+            raise ValueError("no candidates")
+        self._round += 1
+        for cand in candidates:
+            if cand.used:
+                self._last_seen[cand.slot] = self._round
+            self._last_seen.setdefault(cand.slot, 0)
+        return min(
+            range(len(candidates)),
+            key=lambda i: (
+                self._last_seen[candidates[i].slot],
+                candidates[i].loaded_at,
+            ),
+        )
+
+    def note_loaded(self, slot: int, time: int) -> None:
+        self._last_seen[slot] = self._round
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Policy factory used by configuration code."""
+    policies = {"fifo": FIFOPolicy, "clock": ClockPolicy, "lru": LRUPolicy}
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None

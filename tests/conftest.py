@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BufferKind,
+    InitKind,
+    InterruptKind,
+    PageControlKind,
+    RingMode,
+    SupervisorKind,
+    SystemConfig,
+)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """A small but realistic configuration for unit tests."""
+    cfg = SystemConfig(
+        page_size=16,
+        core_frames=8,
+        bulk_frames=32,
+        disk_frames=256,
+        n_processors=1,
+        n_virtual_processors=4,
+        quantum=500,
+    )
+    cfg.validate()
+    return cfg
+
+
+@pytest.fixture
+def legacy_config(config: SystemConfig) -> SystemConfig:
+    """The 'before' system: 645 rings, everything in the supervisor."""
+    config.ring_mode = RingMode.SOFTWARE_645
+    config.supervisor = SupervisorKind.LEGACY
+    config.page_control = PageControlKind.SEQUENTIAL
+    config.buffers = BufferKind.CIRCULAR
+    config.init = InitKind.BOOTSTRAP
+    config.interrupts = InterruptKind.IN_PROCESS
+    return config
+
+
+def _boot(config):
+    from repro.system import MulticsSystem
+
+    system = MulticsSystem(config).boot()
+    system.register_user("Alice", "Crypto", "alice-pw")
+    system.register_user("Bob", "Crypto", "bob-pw")
+    system.register_user("Eve", "Spies", "eve-pw")
+    return system
+
+
+@pytest.fixture
+def kernel_system():
+    """A booted security-kernel system with three users registered."""
+    from repro import kernel_config
+
+    return _boot(kernel_config())
+
+
+@pytest.fixture
+def legacy_system():
+    """A booted legacy system (645 rings, in-kernel everything)."""
+    from repro import legacy_config
+
+    return _boot(legacy_config())
+
+
+@pytest.fixture(params=["kernel", "legacy"])
+def any_system(request):
+    """Parametrized over both supervisors: same workload, both systems."""
+    from repro import kernel_config, legacy_config
+
+    config = kernel_config() if request.param == "kernel" else legacy_config()
+    return _boot(config)

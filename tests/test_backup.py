@@ -1,0 +1,103 @@
+"""Tests for the backup daemon (unprivileged hierarchy dump/reload)."""
+
+import pytest
+
+from repro.user.backup import BackupDaemon
+
+
+@pytest.fixture
+def populated(any_system):
+    alice = any_system.login("Alice", "Crypto", "alice-pw")
+    alice.create_dir("proj")
+    seg = alice.create_segment("proj>data", n_pages=1)
+    alice.write_words(seg, [1, 2, 3])
+    alice.set_acl("proj>data", "Bob.Crypto", "r")
+    alice.create_dir("proj>docs")
+    alice.create_segment("proj>docs>readme", n_pages=1)
+    # Grant the backup identity read over the subtree so the daemon can
+    # see it, plus traversal of the enclosing project/home directories.
+    for path in ("proj", "proj>data", "proj>docs", "proj>docs>readme"):
+        alice.set_acl(path, "*.SysDaemon", "r")
+    alice.set_acl(">udd>Crypto", "*.SysDaemon", "r")
+    alice.set_acl(">udd>Crypto>Alice", "*.SysDaemon", "r")
+    return any_system, alice
+
+
+def daemon_for(system):
+    system.register_user("Backup2", "SysDaemon", "backup2-pw")
+    session = system.login("Backup2", "SysDaemon", "backup2-pw")
+    return BackupDaemon(session)
+
+
+class TestDump:
+    def test_dump_captures_tree(self, populated):
+        system, alice = populated
+        daemon = daemon_for(system)
+        volume = daemon.dump(f"{alice.home_path}>proj")
+        kinds = [(r.kind, r.path.split(">")[-1]) for r in volume.records]
+        assert ("directory", "proj") in kinds
+        assert ("segment", "data") in kinds
+        assert ("segment", "readme") in kinds
+
+    def test_dump_respects_acls(self, populated):
+        """A directory that denies the daemon is skipped, not forced."""
+        system, alice = populated
+        alice.create_dir("proj>private")
+        alice.set_acl("proj>private", "*.SysDaemon", "n")
+        daemon = daemon_for(system)
+        volume = daemon.dump(f"{alice.home_path}>proj")
+        assert any("private" in path for path in volume.skipped)
+        assert not any("private" in r.path for r in volume.records)
+
+    def test_dump_captures_content_and_acl(self, populated):
+        system, alice = populated
+        daemon = daemon_for(system)
+        volume = daemon.dump(f"{alice.home_path}>proj")
+        data = next(r for r in volume.records if r.path.endswith(">data"))
+        assert data.words[:3] == [1, 2, 3]
+        assert ("Bob.Crypto.*", "r") in data.acl
+
+
+class TestReload:
+    def test_roundtrip(self, populated):
+        system, alice = populated
+        daemon = daemon_for(system)
+        volume = daemon.dump(f"{alice.home_path}>proj")
+        # Restore under the daemon's own home.
+        restored = daemon.reload(volume, f"{daemon.session.home_path}>restore")
+        # The dump root maps onto an existing dir; create it first.
+        assert restored >= 0
+        # Do it properly: create the target then reload.
+        daemon.session.create_dir("restore2")
+        count = daemon.reload(volume, f"{daemon.session.home_path}>restore2")
+        assert count >= 3
+        seg = daemon.session.initiate(
+            f"{daemon.session.home_path}>restore2>data"
+        )
+        assert daemon.session.read_words(seg, 3) == [1, 2, 3]
+
+    def test_empty_volume(self, populated):
+        system, alice = populated
+        daemon = daemon_for(system)
+        from repro.user.backup import BackupVolume
+
+        assert daemon.reload(BackupVolume(dumped_at=0), ">anywhere") == 0
+
+
+class TestTapeSpooling:
+    def test_spool_on_legacy(self, legacy_system):
+        alice = legacy_system.login("Alice", "Crypto", "alice-pw")
+        seg = alice.create_segment("notes", n_pages=1)
+        alice.write_words(seg, [9, 9])
+        alice.set_acl("notes", "*.SysDaemon", "r")
+        for path in ():
+            pass
+        # Home/project dirs must be daemon-readable; the project dir ACL
+        # already grants *.Crypto; add the daemon explicitly.
+        alice.set_acl(f">udd>Crypto>Alice", "*.SysDaemon", "r")
+        daemon = daemon_for(legacy_system)
+        volume = daemon.dump(alice.home_path)
+        written = daemon.spool_to_tape(volume)
+        assert written == len(volume)
+        tape = legacy_system.services.devices["tape1"]
+        assert len(tape.records) == written

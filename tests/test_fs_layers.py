@@ -1,0 +1,277 @@
+"""Tests for the two file-system layers and the split KST."""
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    InvalidArgument,
+    NameDuplication,
+    NoSuchEntry,
+    QuotaExceeded,
+)
+from repro.fs.acl import Acl
+from repro.fs.directory import Branch, DirectoryTree, split_path, validate_name
+from repro.fs.kst import KnownSegmentTable
+from repro.fs.uid_layer import UidFileSystem
+from repro.hw.memory import MemoryHierarchy
+from repro.security.mac import SecurityLabel
+from repro.vm.segment_control import ActiveSegmentTable
+
+
+@pytest.fixture
+def ufs(config):
+    return UidFileSystem(ActiveSegmentTable(MemoryHierarchy(config)))
+
+
+class TestUidLayer:
+    def test_uids_are_unique_and_system_generated(self, ufs):
+        uids = {ufs.create_segment(1) for _ in range(20)}
+        assert len(uids) == 20
+
+    def test_record_fields(self, ufs):
+        uid = ufs.create_segment(3, label=SecurityLabel(2), created_at=7)
+        record = ufs.record(uid)
+        assert record.n_pages == 3
+        assert record.label == SecurityLabel(2)
+        assert record.created_at == 7
+        assert not record.is_directory
+
+    def test_creation_activates_segment(self, ufs):
+        uid = ufs.create_segment(2)
+        assert uid in ufs.ast
+
+    def test_zero_pages_rejected(self, ufs):
+        with pytest.raises(InvalidArgument):
+            ufs.create_segment(0)
+
+    def test_quota(self, config):
+        ufs = UidFileSystem(
+            ActiveSegmentTable(MemoryHierarchy(config)), max_pages=4
+        )
+        ufs.create_segment(3)
+        with pytest.raises(QuotaExceeded):
+            ufs.create_segment(2)
+
+    def test_delete_reclaims_pages(self, ufs):
+        uid = ufs.create_segment(4)
+        used_before = ufs.ast.hierarchy.disk.used_count
+        ufs.delete_segment(uid)
+        assert not ufs.exists(uid)
+        assert ufs.ast.hierarchy.disk.used_count == used_before - 4
+        assert ufs.pages_in_use == 0
+
+    def test_unknown_uid(self, ufs):
+        with pytest.raises(NoSuchEntry):
+            ufs.record(12345)
+
+    def test_label_of(self, ufs):
+        uid = ufs.create_segment(1, label=SecurityLabel(1))
+        assert ufs.label_of(uid) == SecurityLabel(1)
+
+
+class TestNames:
+    def test_validate_name(self):
+        validate_name("ok_name")
+        for bad in ("", "a" * 33, "with>sep", "nul\x00"):
+            with pytest.raises(InvalidArgument):
+                validate_name(bad)
+
+    def test_split_path(self):
+        assert split_path(">a>b>c") == ["a", "b", "c"]
+        assert split_path(">") == []
+        with pytest.raises(InvalidArgument):
+            split_path("relative>path")
+
+
+class TestDirectoryTree:
+    @pytest.fixture
+    def tree(self, ufs):
+        root_uid = ufs.create_segment(1, is_directory=True)
+        return DirectoryTree(root_uid), ufs
+
+    def add_dir(self, tree, ufs, parent, name, label=SecurityLabel(0)):
+        uid = ufs.create_segment(1, label=label, is_directory=True)
+        directory = tree.register_directory(uid, parent, label)
+        parent.add(
+            Branch(
+                name=name,
+                uid=uid,
+                is_directory=True,
+                acl=Acl.make(("*.*.*", "rw")),
+                label=label,
+            )
+        )
+        return directory
+
+    def add_seg(self, ufs, directory, name, label=SecurityLabel(0)):
+        uid = ufs.create_segment(1, label=label)
+        directory.add(
+            Branch(name=name, uid=uid, is_directory=False, label=label)
+        )
+        return uid
+
+    def test_resolve_nested_path(self, tree):
+        t, ufs = tree
+        udd = self.add_dir(t, ufs, t.root, "udd")
+        proj = self.add_dir(t, ufs, udd, "Crypto")
+        uid = self.add_seg(ufs, proj, "notes")
+        branch = t.resolve(">udd>Crypto>notes")
+        assert branch.uid == uid
+
+    def test_resolve_missing(self, tree):
+        t, ufs = tree
+        with pytest.raises(NoSuchEntry):
+            t.resolve(">nothing")
+
+    def test_resolve_through_segment_fails(self, tree):
+        t, ufs = tree
+        self.add_seg(ufs, t.root, "plainfile")
+        with pytest.raises(NoSuchEntry):
+            t.resolve(">plainfile>inside")
+
+    def test_resolve_root_has_no_branch(self, tree):
+        t, ufs = tree
+        with pytest.raises(InvalidArgument):
+            t.resolve(">")
+
+    def test_single_step_lookup(self, tree):
+        """The new minimal kernel interface: one directory, one name."""
+        t, ufs = tree
+        udd = self.add_dir(t, ufs, t.root, "udd")
+        uid = self.add_seg(ufs, udd, "x")
+        assert t.lookup(udd, "x").uid == uid
+
+    def test_duplicate_names_rejected(self, tree):
+        t, ufs = tree
+        self.add_seg(ufs, t.root, "x")
+        with pytest.raises(NameDuplication):
+            self.add_seg(ufs, t.root, "x")
+
+    def test_added_names(self, tree):
+        t, ufs = tree
+        self.add_seg(ufs, t.root, "primary")
+        t.root.add_name("primary", "alias")
+        assert t.root.get("alias") is t.root.get("primary")
+        t.root.remove_name("alias")
+        with pytest.raises(NoSuchEntry):
+            t.root.get("alias")
+
+    def test_cannot_remove_primary_name(self, tree):
+        t, ufs = tree
+        self.add_seg(ufs, t.root, "primary")
+        with pytest.raises(InvalidArgument):
+            t.root.remove_name("primary")
+
+    def test_rename(self, tree):
+        t, ufs = tree
+        uid = self.add_seg(ufs, t.root, "old")
+        t.root.rename("old", "new")
+        assert t.root.get("new").uid == uid
+        with pytest.raises(NoSuchEntry):
+            t.root.get("old")
+
+    def test_remove_branch_removes_aliases(self, tree):
+        t, ufs = tree
+        self.add_seg(ufs, t.root, "x")
+        t.root.add_name("x", "y")
+        t.root.remove("x")
+        assert "y" not in t.root
+        assert len(t.root) == 0
+
+    def test_mac_nondecrease_enforced(self, tree):
+        """A secret branch may live in an unclassified directory, but
+        not the other way around."""
+        t, ufs = tree
+        secret_dir = self.add_dir(
+            t, ufs, t.root, "secret", label=SecurityLabel(2)
+        )
+        with pytest.raises(AccessDenied):
+            self.add_seg(ufs, secret_dir, "leak", label=SecurityLabel(0))
+        # Downward-compatible labels are fine.
+        self.add_seg(ufs, secret_dir, "ok", label=SecurityLabel(3))
+
+    def test_register_directory_mac(self, tree):
+        t, ufs = tree
+        secret = self.add_dir(t, ufs, t.root, "s", label=SecurityLabel(2))
+        uid = ufs.create_segment(1, is_directory=True)
+        with pytest.raises(AccessDenied):
+            t.register_directory(uid, secret, SecurityLabel(0))
+
+    def test_path_of(self, tree):
+        t, ufs = tree
+        udd = self.add_dir(t, ufs, t.root, "udd")
+        proj = self.add_dir(t, ufs, udd, "Crypto")
+        assert t.path_of(proj) == ">udd>Crypto"
+        assert t.path_of(t.root) == ">"
+
+    def test_resolve_directory(self, tree):
+        t, ufs = tree
+        udd = self.add_dir(t, ufs, t.root, "udd")
+        assert t.resolve_directory(">udd") is udd
+        assert t.resolve_directory(">") is t.root
+
+    def test_drop_directory_must_be_empty(self, tree):
+        t, ufs = tree
+        udd = self.add_dir(t, ufs, t.root, "udd")
+        self.add_seg(ufs, udd, "x")
+        with pytest.raises(InvalidArgument):
+            t.drop_directory(udd.uid)
+        udd.remove("x")
+        t.drop_directory(udd.uid)
+        with pytest.raises(NoSuchEntry):
+            t.directory(udd.uid)
+
+    def test_cannot_drop_root(self, tree):
+        t, ufs = tree
+        with pytest.raises(InvalidArgument):
+            t.drop_directory(t.root.uid)
+
+
+class TestKnownSegmentTable:
+    def test_make_known_idempotent(self):
+        kst = KnownSegmentTable()
+        segno1, known1 = kst.make_known(uid=500)
+        segno2, known2 = kst.make_known(uid=500)
+        assert segno1 == segno2
+        assert (known1, known2) == (False, True)
+
+    def test_segnos_start_above_reserved(self):
+        kst = KnownSegmentTable(first_segno=8)
+        segno, _ = kst.make_known(uid=1)
+        assert segno >= 8
+
+    def test_bidirectional_lookup(self):
+        kst = KnownSegmentTable()
+        segno, _ = kst.make_known(uid=42)
+        assert kst.uid_of(segno) == 42
+        assert kst.segno_of(42) == segno
+
+    def test_terminate(self):
+        kst = KnownSegmentTable()
+        segno, _ = kst.make_known(uid=42)
+        assert kst.terminate(segno) == 42
+        assert not kst.is_known(42)
+        with pytest.raises(NoSuchEntry):
+            kst.uid_of(segno)
+        with pytest.raises(NoSuchEntry):
+            kst.terminate(segno)
+
+    def test_capacity(self):
+        kst = KnownSegmentTable(capacity=2)
+        kst.make_known(1)
+        kst.make_known(2)
+        with pytest.raises(InvalidArgument):
+            kst.make_known(3)
+
+    def test_entries_sorted(self):
+        kst = KnownSegmentTable()
+        for uid in (30, 10, 20):
+            kst.make_known(uid)
+        segnos = [e.segno for e in kst.entries()]
+        assert segnos == sorted(segnos)
+        assert len(kst) == 3
+
+    def test_directory_flag_remembered(self):
+        kst = KnownSegmentTable()
+        segno, _ = kst.make_known(uid=9, is_directory=True)
+        assert kst.entry(segno).is_directory

@@ -1,0 +1,109 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.hw.clock import Clock, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(10) == 10
+        assert clock.now == 10
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(42)
+        assert clock.now == 42
+
+    def test_no_backwards_time(self):
+        clock = Clock()
+        clock.advance(5)
+        with pytest.raises(ValueError):
+            clock.advance_to(3)
+
+    def test_no_negative_advance(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, lambda: order.append("b"))
+        sim.schedule(5, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.clock.now == 20
+
+    def test_fifo_within_same_time(self):
+        sim = Simulator()
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(7, lambda tag=tag: order.append(tag))
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1, lambda: chain(n + 1))
+
+        sim.schedule(0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.clock.now == 3
+
+    def test_run_until_stops_clock_at_limit(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append(1))
+        sim.run(until=50)
+        assert fired == []
+        assert sim.clock.now == 50
+        sim.run()
+        assert fired == [1]
+
+    def test_run_until_past_all_events_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run(until=500)
+        assert sim.clock.now == 500
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+        sim.clock.advance(10)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_event_budget_guards_livelock(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_pending_count(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.pending == 2
+        sim.step()
+        assert sim.pending == 1

@@ -1,0 +1,143 @@
+"""Tests for the physical memory hierarchy."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.hw.memory import MemoryHierarchy, MemoryLevel, OutOfFrames
+
+
+@pytest.fixture
+def level():
+    return MemoryLevel("core", 4, 1, page_size=8)
+
+
+class TestMemoryLevel:
+    def test_initially_all_free(self, level):
+        assert level.free_count == 4
+        assert level.used_count == 0
+
+    def test_allocate_and_free(self, level):
+        idx = level.allocate()
+        assert level.is_allocated(idx)
+        assert level.used_count == 1
+        level.free(idx)
+        assert not level.is_allocated(idx)
+        assert level.free_count == 4
+
+    def test_exhaustion(self, level):
+        for _ in range(4):
+            level.allocate()
+        with pytest.raises(OutOfFrames):
+            level.allocate()
+
+    def test_double_free_rejected(self, level):
+        idx = level.allocate()
+        level.free(idx)
+        with pytest.raises(ValueError):
+            level.free(idx)
+
+    def test_read_write_word(self, level):
+        idx = level.allocate()
+        level.write(idx, 3, 99)
+        assert level.read(idx, 3) == 99
+
+    def test_access_unallocated_rejected(self, level):
+        with pytest.raises(ValueError):
+            level.read(0, 0)
+        with pytest.raises(ValueError):
+            level.write(0, 0, 1)
+
+    def test_offset_bounds(self, level):
+        idx = level.allocate()
+        with pytest.raises(ValueError):
+            level.read(idx, 8)
+        with pytest.raises(ValueError):
+            level.write(idx, -1, 0)
+
+    def test_page_read_write(self, level):
+        idx = level.allocate()
+        data = list(range(8))
+        level.write_page(idx, data)
+        assert level.read_page(idx) == data
+
+    def test_page_write_wrong_length(self, level):
+        idx = level.allocate()
+        with pytest.raises(ValueError):
+            level.write_page(idx, [1, 2, 3])
+
+    def test_frames_cleared_on_free(self, level):
+        idx = level.allocate()
+        level.write(idx, 0, 777)
+        level.free(idx)
+        # Next allocation of the same frame sees zeros.
+        idx2 = level.allocate()
+        while idx2 != idx:
+            idx2 = level.allocate()
+        assert level.read(idx2, 0) == 0
+
+    def test_residue_when_clearing_disabled(self):
+        """The classic residue flaw: with clearing off, freed data is
+        readable by the next owner (exploited by experiment E11)."""
+        dirty = MemoryLevel("core", 1, 1, page_size=8, clear_on_free=False)
+        idx = dirty.allocate()
+        dirty.write(idx, 0, 777)
+        dirty.free(idx)
+        idx2 = dirty.allocate()
+        assert dirty.read(idx2, 0) == 777
+
+    def test_counters(self, level):
+        a = level.allocate()
+        level.free(a)
+        level.allocate()
+        assert level.allocations == 2
+        assert level.frees == 1
+
+
+class TestMemoryHierarchy:
+    @pytest.fixture
+    def hierarchy(self, config: SystemConfig):
+        return MemoryHierarchy(config)
+
+    def test_levels_sized_from_config(self, hierarchy, config):
+        assert hierarchy.core.n_frames == config.core_frames
+        assert hierarchy.bulk.n_frames == config.bulk_frames
+        assert hierarchy.disk.n_frames == config.disk_frames
+
+    def test_level_lookup(self, hierarchy):
+        assert hierarchy.level("core") is hierarchy.core
+        assert hierarchy.level("bulk") is hierarchy.bulk
+        assert hierarchy.level("disk") is hierarchy.disk
+        with pytest.raises(ValueError):
+            hierarchy.level("drum")
+
+    def test_transfer_moves_data_and_frees_source(self, hierarchy, config):
+        src = hierarchy.core.allocate()
+        data = list(range(config.page_size))
+        hierarchy.core.write_page(src, data)
+        dst = hierarchy.transfer(hierarchy.core, src, hierarchy.bulk)
+        assert hierarchy.bulk.read_page(dst) == data
+        assert not hierarchy.core.is_allocated(src)
+
+    def test_transfer_counts(self, hierarchy):
+        src = hierarchy.core.allocate()
+        hierarchy.transfer(hierarchy.core, src, hierarchy.disk)
+        assert hierarchy.transfer_counts[("core", "disk")] == 1
+
+    def test_transfer_cost_is_slower_endpoint(self, hierarchy):
+        assert (
+            hierarchy.transfer_cost(hierarchy.core, hierarchy.disk)
+            == hierarchy.disk.transfer_cost
+        )
+        assert (
+            hierarchy.transfer_cost(hierarchy.core, hierarchy.bulk)
+            == hierarchy.bulk.transfer_cost
+        )
+
+    def test_transfer_into_full_level_raises(self, config):
+        config.bulk_frames = config.core_frames  # tiny bulk
+        hierarchy = MemoryHierarchy(config)
+        for _ in range(hierarchy.bulk.n_frames):
+            hierarchy.bulk.allocate()
+        src = hierarchy.core.allocate()
+        with pytest.raises(OutOfFrames):
+            hierarchy.transfer(hierarchy.core, src, hierarchy.bulk)

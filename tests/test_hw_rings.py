@@ -1,0 +1,152 @@
+"""Tests for ring brackets, gate checking, and call costs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import NUM_RINGS, CostModel, RingMode
+from repro.errors import AccessViolation, GateViolation
+from repro.hw.rings import (
+    KERNEL_ONLY,
+    RingBrackets,
+    call_check,
+    call_cost,
+    kernel_gate_brackets,
+    user_brackets,
+)
+
+
+def brackets_strategy():
+    return st.tuples(
+        st.integers(0, NUM_RINGS - 1),
+        st.integers(0, NUM_RINGS - 1),
+        st.integers(0, NUM_RINGS - 1),
+    ).map(sorted).map(lambda t: RingBrackets(*t))
+
+
+class TestRingBrackets:
+    def test_valid_construction(self):
+        b = RingBrackets(0, 4, 7)
+        assert (b.r1, b.r2, b.r3) == (0, 4, 7)
+
+    @pytest.mark.parametrize("bad", [(1, 0, 0), (0, 5, 4), (-1, 0, 0), (0, 0, 8)])
+    def test_invalid_construction(self, bad):
+        with pytest.raises(ValueError):
+            RingBrackets(*bad)
+
+    def test_write_bracket(self):
+        b = RingBrackets(1, 4, 6)
+        assert b.may_write(0) and b.may_write(1)
+        assert not b.may_write(2)
+
+    def test_read_bracket(self):
+        b = RingBrackets(1, 4, 6)
+        assert b.may_read(4)
+        assert not b.may_read(5)
+
+    def test_execute_bracket(self):
+        b = RingBrackets(1, 4, 6)
+        assert not b.in_execute_bracket(0)
+        assert b.in_execute_bracket(1)
+        assert b.in_execute_bracket(4)
+        assert not b.in_execute_bracket(5)
+
+    def test_call_bracket(self):
+        b = RingBrackets(1, 4, 6)
+        assert not b.in_call_bracket(4)
+        assert b.in_call_bracket(5)
+        assert b.in_call_bracket(6)
+        assert not b.in_call_bracket(7)
+
+    def test_target_ring_inward_call_drops_to_r2(self):
+        b = RingBrackets(0, 0, 5)
+        assert b.target_ring(4) == 0
+
+    def test_target_ring_in_bracket_unchanged(self):
+        b = RingBrackets(1, 4, 6)
+        assert b.target_ring(3) == 3
+
+    def test_target_ring_outward_call_rises_to_r1(self):
+        b = user_brackets(4)
+        assert b.target_ring(1) == 4
+
+    def test_target_ring_beyond_r3_denied(self):
+        b = RingBrackets(0, 0, 3)
+        with pytest.raises(AccessViolation):
+            b.target_ring(4)
+
+    @given(brackets_strategy(), st.integers(0, NUM_RINGS - 1))
+    def test_write_implies_read(self, b, ring):
+        """The write bracket is always inside the read bracket."""
+        if b.may_write(ring):
+            assert b.may_read(ring)
+
+    @given(brackets_strategy(), st.integers(0, NUM_RINGS - 1))
+    def test_target_ring_never_more_privileged_than_r2_bound(self, b, ring):
+        """An inward call never lands below r1 and never above r2+ of
+        legality; the resulting ring is always within [r1, r2] or the
+        caller's own ring."""
+        if ring <= b.r3:
+            target = b.target_ring(ring)
+            assert b.r1 <= target <= max(b.r2, ring)
+
+    @given(brackets_strategy(), st.integers(0, NUM_RINGS - 1))
+    def test_exactly_one_execution_region(self, b, ring):
+        """A ring is in at most one of: execute bracket, call bracket."""
+        assert not (b.in_execute_bracket(ring) and b.in_call_bracket(ring))
+
+
+class TestHelpers:
+    def test_kernel_only(self):
+        assert KERNEL_ONLY.may_read(0)
+        assert not KERNEL_ONLY.may_read(1)
+
+    def test_kernel_gate_brackets(self):
+        b = kernel_gate_brackets()
+        assert b.in_call_bracket(4)
+        assert b.target_ring(7) == 0
+
+    def test_user_brackets(self):
+        b = user_brackets(4)
+        assert b.may_write(4)
+        assert not b.may_write(5)
+        assert b.in_execute_bracket(4)
+
+
+class TestCallCheck:
+    def test_in_ring_call_needs_no_gate(self):
+        b = user_brackets(4)
+        assert call_check(b, 4, 17, None) == 4
+
+    def test_inward_call_through_gate(self):
+        b = kernel_gate_brackets()
+        assert call_check(b, 4, 10, frozenset({10, 20})) == 0
+
+    def test_inward_call_missing_gate_rejected(self):
+        b = kernel_gate_brackets()
+        with pytest.raises(GateViolation):
+            call_check(b, 4, 11, frozenset({10, 20}))
+
+    def test_inward_call_without_any_gates_rejected(self):
+        b = kernel_gate_brackets()
+        with pytest.raises(GateViolation):
+            call_check(b, 4, 0, None)
+
+    def test_call_beyond_r3_denied(self):
+        b = RingBrackets(0, 0, 3)
+        with pytest.raises(AccessViolation):
+            call_check(b, 5, 0, frozenset({0}))
+
+
+class TestCallCost:
+    def test_645_cross_ring_is_expensive(self):
+        costs = CostModel()
+        in_ring = call_cost(costs, RingMode.SOFTWARE_645, 4, 4)
+        cross = call_cost(costs, RingMode.SOFTWARE_645, 4, 0)
+        assert cross > in_ring * 10
+
+    def test_6180_cross_ring_is_free(self):
+        costs = CostModel()
+        in_ring = call_cost(costs, RingMode.HARDWARE_6180, 4, 4)
+        cross = call_cost(costs, RingMode.HARDWARE_6180, 4, 0)
+        assert cross == in_ring

@@ -1,0 +1,109 @@
+"""Tests for the two initialization strategies (experiment E10)."""
+
+import pytest
+
+from repro.config import InitKind, SystemConfig
+from repro.init.bootstrap import BootstrapInitializer, standard_steps
+from repro.init.image import ImageBuilder, boot_from_image
+from repro.kernel.services import KernelServices
+
+
+class TestBootstrap:
+    def test_all_steps_run_privileged(self, config):
+        services = KernelServices(config)
+        init = BootstrapInitializer()
+        init.boot(services)
+        assert init.privileged_steps_run == len(standard_steps())
+        assert init.privileged_steps_run >= 8
+
+    def test_builds_standard_hierarchy(self, config):
+        services = KernelServices(config)
+        BootstrapInitializer().boot(services)
+        names = {b.name for b in services.tree.root.list_branches()}
+        assert {"udd", "sss", "daemons", "system_library"} <= names
+
+    def test_registers_daemons(self, config):
+        services = KernelServices(config)
+        BootstrapInitializer().boot(services)
+        assert "Initializer" in services.users
+        assert "Backup" in services.users
+
+    def test_idempotent_reboot(self, config):
+        services = KernelServices(config)
+        BootstrapInitializer().boot(services)
+        BootstrapInitializer().boot(services)  # directories persist
+        names = [b.name for b in services.tree.root.list_branches()]
+        assert names.count("udd") == 1
+
+
+class TestImage:
+    def test_image_captures_bootstrap_state(self, config):
+        image = ImageBuilder().build(config)
+        paths = {tuple(d.path) for d in image.directories}
+        assert () in paths
+        assert ("udd",) in paths
+        assert any(u["person"] == "Initializer" for u in image.users)
+        assert image.seal
+
+    def test_boot_from_image_is_two_privileged_steps(self, config):
+        image = ImageBuilder().build(config)
+        services = KernelServices(config)
+        assert boot_from_image(services, image) == 2
+
+    def test_image_boot_equivalent_to_bootstrap(self, config):
+        """Both strategies manifest the same system state."""
+        a = KernelServices(config)
+        BootstrapInitializer().boot(a)
+
+        b = KernelServices(config)
+        boot_from_image(b, ImageBuilder().build(config))
+
+        def fingerprint(services):
+            dirs = sorted(
+                (d.name, len(d)) for d in services.tree.directories()
+            )
+            users = sorted(services.users)
+            return dirs, users
+
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_tampered_image_refused(self, config):
+        """The seal is the one integrity check the loading kernel makes."""
+        image = ImageBuilder().build(config)
+        image.users.append(
+            {
+                "person": "Backdoor",
+                "projects": ["SysDaemon"],
+                "password_hash": "0" * 32,
+                "clearance": "unclassified",
+            }
+        )
+        services = KernelServices(config)
+        with pytest.raises(RuntimeError, match="seal"):
+            boot_from_image(services, image)
+        assert "Backdoor" not in services.users
+
+    def test_reseal_after_legitimate_change(self, config):
+        image = ImageBuilder().build(config)
+        image.users = [u for u in image.users if u["person"] != "IO"]
+        image.sealed()
+        services = KernelServices(config)
+        boot_from_image(services, image)
+        assert "IO" not in services.users
+
+
+class TestSystemIntegration:
+    def test_facade_uses_configured_strategy(self):
+        from repro import MulticsSystem, kernel_config
+
+        boot_sys = MulticsSystem(
+            kernel_config(init=InitKind.BOOTSTRAP)
+        ).boot()
+        image_sys = MulticsSystem(kernel_config(init=InitKind.IMAGE)).boot()
+        assert boot_sys.boot_privileged_steps >= 8
+        assert image_sys.boot_privileged_steps == 2
+        # Both produce a usable system.
+        for system in (boot_sys, image_sys):
+            system.register_user("Alice", "Crypto", "pw")
+            session = system.login("Alice", "Crypto", "pw")
+            assert session.home_path == ">udd>Crypto>Alice"

@@ -1,0 +1,314 @@
+"""Tests for buffers, devices, the network attachment, and interrupt
+dispatch (experiments E6 and E8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import CostModel, SystemConfig
+from repro.errors import InvalidArgument
+from repro.hw.clock import Simulator
+from repro.hw.interrupts import InterruptController
+from repro.io.buffers import CircularBuffer, InfiniteVMBuffer
+from repro.io.devices import CardPunch, CardReader, LinePrinter, TapeDrive, Terminal
+from repro.io.network import NetworkAttachment, TrafficPattern
+from repro.proc.interrupt_procs import DedicatedProcessDispatch, InProcessDispatch
+from repro.proc.ipc import Block, Charge, Wakeup
+from repro.proc.process import Process, ProcessState
+from repro.proc.scheduler import TrafficController
+
+
+class TestCircularBuffer:
+    def test_fifo(self):
+        buf = CircularBuffer(4)
+        for i in range(3):
+            buf.put(i)
+        assert [buf.get() for _ in range(3)] == [0, 1, 2]
+
+    def test_overwrite_on_lap(self):
+        """The paper's bug: old messages not removed before a complete
+        circuit are destroyed."""
+        buf = CircularBuffer(3)
+        for i in range(5):
+            buf.put(i)
+        assert buf.lost == 2
+        assert [buf.get() for _ in range(3)] == [2, 3, 4]
+
+    def test_empty_get(self):
+        buf = CircularBuffer(2)
+        assert buf.get() is None
+        assert buf.stats.underruns == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CircularBuffer(0)
+
+    def test_peak_queue(self):
+        buf = CircularBuffer(8)
+        for i in range(5):
+            buf.put(i)
+        buf.get()
+        assert buf.stats.peak_queue == 5
+
+
+class TestInfiniteBuffer:
+    def test_never_loses(self):
+        buf = InfiniteVMBuffer(messages_per_page=4)
+        for i in range(100):
+            buf.put(i)
+        assert buf.lost == 0
+        assert [buf.get() for _ in range(100)] == list(range(100))
+
+    def test_pages_allocated_through_vm(self):
+        grown = []
+        buf = InfiniteVMBuffer(messages_per_page=4, page_hook=lambda: grown.append(1))
+        for i in range(9):
+            buf.put(i)
+        assert buf.pages_allocated == 3
+        assert len(grown) == 3
+
+    def test_empty_get(self):
+        buf = InfiniteVMBuffer()
+        assert buf.get() is None
+
+    @given(st.lists(st.integers(), max_size=200))
+    def test_exact_fifo_property(self, items):
+        buf = InfiniteVMBuffer(messages_per_page=7)
+        for item in items:
+            assert buf.put(item) is True
+        out = [buf.get() for _ in range(len(items))]
+        assert out == items
+        assert buf.get() is None
+
+
+@pytest.fixture
+def io_env():
+    sim = Simulator()
+    ic = InterruptController(sim.clock)
+    return sim, ic
+
+
+class TestDevices:
+    def test_attach_discipline(self, io_env):
+        sim, ic = io_env
+        tty = Terminal("tty1", sim, ic, line=1)
+        tty.attach(pid=1)
+        with pytest.raises(InvalidArgument):
+            tty.attach(pid=2)
+        with pytest.raises(InvalidArgument):
+            tty.detach(pid=2)
+        tty.detach(pid=1)
+        tty.attach(pid=2)
+
+    def test_terminal_io(self, io_env):
+        sim, ic = io_env
+        tty = Terminal("tty1", sim, ic, line=1)
+        tty.attach(1)
+        tty.type_line("hello")
+        assert tty.read_line(1) == "hello"
+        assert tty.read_line(1) is None
+        tty.write_line(1, "output")
+        assert tty.output == ["output"]
+
+    def test_tape(self, io_env):
+        sim, ic = io_env
+        tape = TapeDrive("tape1", sim, ic, line=2)
+        tape.mount([[1, 2], [3, 4]])
+        tape.attach(1)
+        assert tape.read_record(1) == [1, 2]
+        assert tape.read_record(1) == [3, 4]
+        assert tape.read_record(1) is None
+        tape.rewind(1)
+        assert tape.read_record(1) == [1, 2]
+        tape.write_record(1, [9])
+        assert tape.records == [[1, 2], [9]]
+
+    def test_cards(self, io_env):
+        sim, ic = io_env
+        rdr = CardReader("rdr1", sim, ic, line=3)
+        pun = CardPunch("pun1", sim, ic, line=4)
+        rdr.load_deck(["card one"])
+        rdr.attach(1)
+        pun.attach(1)
+        assert rdr.read_card(1) == "card one"
+        assert rdr.read_card(1) is None
+        pun.punch_card(1, "out")
+        assert pun.stacker == ["out"]
+        with pytest.raises(InvalidArgument):
+            pun.punch_card(1, "x" * 81)
+
+    def test_printer_pagination(self, io_env):
+        sim, ic = io_env
+        prt = LinePrinter("prt1", sim, ic, line=5)
+        prt.attach(1)
+        for i in range(130):
+            prt.print_line(1, f"line {i}")
+        assert prt.lines_printed == 130
+        assert len(prt.pages) == 3
+
+    def test_completion_interrupts(self, io_env):
+        sim, ic = io_env
+        seen = []
+        ic.set_interceptor(lambda i: seen.append(i.line))
+        tty = Terminal("tty1", sim, ic, line=1)
+        tty.attach(1)
+        tty.write_line(1, "x")
+        sim.run()
+        assert seen == [1]
+
+
+class TestNetwork:
+    def make_net(self, buffer):
+        sim = Simulator()
+        ic = InterruptController(sim.clock)
+        return NetworkAttachment(sim, ic, line=6, buffer=buffer)
+
+    def test_deliver_and_receive(self):
+        net = self.make_net(InfiniteVMBuffer())
+        net.deliver("host-a", "hello")
+        message = net.receive()
+        assert message.body == "hello"
+        assert net.receive() is None
+
+    def test_burst_loss_circular_vs_infinite(self):
+        """E6 in miniature: a burst larger than the ring loses messages
+        on the circular buffer and none on the VM buffer."""
+        lossy = self.make_net(CircularBuffer(4))
+        clean = self.make_net(InfiniteVMBuffer())
+        for net in (lossy, clean):
+            pattern = TrafficPattern(burst_size=10, burst_gap=0, n_bursts=1)
+            pattern.schedule_into(net)
+            net.sim.run()
+        assert lossy.messages_lost == 6
+        assert clean.messages_lost == 0
+        assert clean.backlog == 10
+
+    def test_send_records_outbound(self):
+        net = self.make_net(InfiniteVMBuffer())
+        net.send("host-b", "out")
+        assert len(net.sent) == 1
+
+    def test_traffic_pattern_deterministic(self):
+        a = TrafficPattern(3, 10, 2, seed=5)
+        b = TrafficPattern(3, 10, 2, seed=5)
+        assert [a._next() for _ in range(5)] == [b._next() for _ in range(5)]
+
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError):
+            TrafficPattern(0, 1, 1)
+
+
+class TestInterruptDispatch:
+    def make(self, config, dedicated: bool):
+        sim = Simulator()
+        tc = TrafficController(sim, config)
+        ic = InterruptController(sim.clock)
+        cls = DedicatedProcessDispatch if dedicated else InProcessDispatch
+        return sim, tc, ic, cls(ic, tc, CostModel())
+
+    def test_dedicated_handler_is_a_real_process(self, config):
+        sim, tc, ic, dispatch = self.make(config, dedicated=True)
+        handled = []
+
+        def handler(payload):
+            yield Charge(10)
+            handled.append(payload)
+
+        process = dispatch.register(3, handler)
+        assert process.dedicated
+        ic.raise_line(3, "evt")
+        sim.run()
+        assert handled == ["evt"]
+        assert process.state is ProcessState.BLOCKED  # parked for more
+
+    def test_dedicated_handler_may_block(self, config):
+        """The whole point of the redesign: handlers are full processes
+        and may use ordinary IPC."""
+        sim, tc, ic, dispatch = self.make(config, dedicated=True)
+        gate = tc.create_channel("gate")
+        log = []
+
+        def handler(payload):
+            yield Charge(1)
+            value = yield Block(gate)
+            log.append((payload, value))
+
+        dispatch.register(1, handler)
+        ic.raise_line(1, "irq")
+        sim.run()
+        tc.send_wakeup(gate, "data")
+        sim.run()
+        assert log == [("irq", "data")]
+
+    def test_in_process_handler_cannot_block(self, config):
+        sim, tc, ic, dispatch = self.make(config, dedicated=False)
+        gate = tc.create_channel("gate")
+
+        def handler(payload):
+            yield Block(gate)
+
+        dispatch.register(1, handler)
+        with pytest.raises(RuntimeError, match="attempted to block"):
+            ic.raise_line(1, None)
+
+    def test_in_process_steals_from_running_process(self, config):
+        sim, tc, ic, dispatch = self.make(config, dedicated=False)
+
+        def handler(payload):
+            yield Charge(500)
+
+        dispatch.register(1, handler)
+
+        def victim_body(proc):
+            yield Charge(10)
+            ic.raise_line(1, None)  # interrupt arrives mid-run
+            yield Charge(10)
+
+        victim = Process("victim", body=victim_body)
+        tc.add_process(victim)
+        sim.run()
+        # The victim paid for the handler's work.
+        assert victim.cpu_cycles >= 500 + 20
+        assert dispatch.stolen_cycles >= 500
+
+    def test_dedicated_steals_only_the_wakeup(self, config):
+        sim, tc, ic, dispatch = self.make(config, dedicated=True)
+
+        def handler(payload):
+            yield Charge(500)
+
+        dispatch.register(1, handler)
+
+        def victim_body(proc):
+            yield Charge(10)
+            ic.raise_line(1, None)
+            yield Charge(10)
+
+        victim = Process("victim", body=victim_body)
+        tc.add_process(victim)
+        sim.run()
+        assert dispatch.stolen_cycles == CostModel().interrupt_to_wakeup
+        assert victim.cpu_cycles <= 20 + CostModel().interrupt_to_wakeup
+
+    def test_in_process_masks_during_handler(self, config):
+        sim, tc, ic, dispatch = self.make(config, dedicated=False)
+
+        def handler(payload):
+            yield Charge(100)
+
+        dispatch.register(1, handler)
+        ic.raise_line(1, None)
+        assert ic.masked_cycles >= 100
+        assert not ic.masked  # unmasked after completion
+
+    def test_pending_drain_after_unmask(self, io_env):
+        sim, ic = io_env
+        seen = []
+        ic.set_interceptor(lambda i: seen.append(i.line))
+        ic.mask()
+        ic.raise_line(1)
+        ic.raise_line(2)
+        assert seen == []
+        assert ic.pending_count == 2
+        ic.unmask()
+        assert seen == [1, 2]

@@ -1,0 +1,189 @@
+"""Tests for the KPL compiler and the per-module certifier (E13)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CertificationError, CompilationError
+from repro.hw.cpu import Instruction, Op
+from repro.lang.certifier import (
+    SourceInterpreter,
+    certify_module,
+    check_structure,
+    execute_object,
+)
+from repro.lang.compiler import compile_source, parse
+
+FIB = """
+procedure fib(n);
+  declare a; declare b; declare t;
+  a = 0; b = 1;
+  while n > 0 do
+    t = a + b; a = b; b = t; n = n - 1;
+  end;
+  return a;
+end;
+"""
+
+GCD = """
+procedure gcd(a, b);
+  declare t;
+  while b ^= 0 do
+    t = b;
+    b = a mod b;
+    a = t;
+  end;
+  return a;
+end;
+"""
+
+CALLS = """
+procedure double(x);
+  return x + x;
+end;
+
+procedure quad(x);
+  return double(double(x));
+end;
+"""
+
+CONDITIONAL = """
+procedure sign(x);
+  if x > 0 then
+    return 1;
+  else
+    if x < 0 then
+      return -1;
+    end;
+  end;
+  return 0;
+end;
+"""
+
+
+class TestCompiler:
+    def test_fib(self):
+        obj = compile_source(FIB, "m")
+        assert execute_object(obj, "m", "fib", [10]) == 55
+        assert execute_object(obj, "m", "fib", [0]) == 0
+
+    def test_gcd(self):
+        obj = compile_source(GCD, "m")
+        assert execute_object(obj, "m", "gcd", [48, 36]) == 12
+
+    def test_internal_calls_via_linkage(self):
+        obj = compile_source(CALLS, "m")
+        assert "m$double" in obj.links
+        assert execute_object(obj, "m", "quad", [3]) == 12
+
+    def test_conditionals(self):
+        obj = compile_source(CONDITIONAL, "m")
+        for x, expected in ((5, 1), (-5, -1), (0, 0)):
+            assert execute_object(obj, "m", "sign", [x]) == expected
+
+    def test_comments_stripped(self):
+        src = "procedure f(x); /* a comment */ return x; end;"
+        obj = compile_source(src, "m")
+        assert execute_object(obj, "m", "f", [9]) == 9
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",                                         # empty
+            "procedure f(; return 1; end;",             # syntax
+            "procedure f(x); y = 1; return y; end;",    # undeclared
+            "procedure f(x); declare x; return x; end;",  # redeclare
+            "procedure f(x); return x; end; procedure f(y); return y; end;",
+            "procedure f(x); return @; end;",           # bad token
+        ],
+    )
+    def test_rejects_bad_source(self, bad):
+        with pytest.raises(CompilationError):
+            compile_source(bad, "m")
+
+    def test_fall_off_end_returns_zero(self):
+        obj = compile_source("procedure f(x); declare y; y = x; end;", "m")
+        assert execute_object(obj, "m", "f", [5]) == 0
+
+
+class TestSourceInterpreter:
+    def test_matches_python_semantics(self):
+        program = parse(GCD, "m")
+        assert SourceInterpreter(program).run("gcd", [48, 36]) == 12
+
+    def test_divergence_guard(self):
+        src = "procedure spin(); declare i; i = 1; while i > 0 do i = 2; end; return 0; end;"
+        program = parse(src, "m")
+        with pytest.raises(CertificationError, match="diverged"):
+            SourceInterpreter(program, max_steps=1000).run("spin", [])
+
+
+class TestCertifier:
+    def test_certifies_correct_compilation(self):
+        report = certify_module(
+            FIB, "m", {"fib": [[0], [1], [2], [10], [15]]}
+        )
+        assert report.certified
+        assert report.vectors_run == 5
+
+    def test_catches_tampered_object(self):
+        """A patched return value — the certifier must notice."""
+        obj = compile_source(FIB, "m")
+        for i, inst in enumerate(obj.code):
+            if inst.op is Op.PUSHI and inst.a == 1:
+                obj.code[i] = Instruction(Op.PUSHI, 2)
+                break
+        with pytest.raises(CertificationError, match="source model says"):
+            certify_module(FIB, "m", {"fib": [[5]]}, obj=obj)
+
+    def test_catches_foreign_instructions(self):
+        """Object code using operations the kernel language cannot emit
+        (e.g. direct stores into arbitrary segments) fails structurally."""
+        obj = compile_source(FIB, "m")
+        obj.code.append(Instruction(Op.STORE, 0, 0))
+        with pytest.raises(CertificationError, match="never emits"):
+            check_structure(obj, "m")
+
+    def test_catches_undeclared_links(self):
+        obj = compile_source(FIB, "m")
+        obj.code[0] = Instruction(Op.CALLL, 99, 0)
+        with pytest.raises(CertificationError, match="undeclared link"):
+            check_structure(obj, "m")
+
+    def test_catches_outward_references(self):
+        obj = compile_source(FIB, "m")
+        obj.links.append("other_module$evil")
+        with pytest.raises(CertificationError, match="outside itself"):
+            check_structure(obj, "m")
+
+    def test_catches_wild_jumps(self):
+        obj = compile_source(FIB, "m")
+        obj.code[0] = Instruction(Op.JMP, 9999)
+        with pytest.raises(CertificationError, match="outside the module"):
+            check_structure(obj, "m")
+
+    def test_missing_procedure_rejected(self):
+        with pytest.raises(CertificationError):
+            certify_module(FIB, "m", {"nope": [[1]]})
+
+
+class TestDifferentialProperty:
+    @given(st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_fib_object_matches_model(self, n):
+        """Property: compiled code and source model agree everywhere we
+        look — the footnote-6 argument in executable form."""
+        obj = compile_source(FIB, "m")
+        program = parse(FIB, "m")
+        assert execute_object(obj, "m", "fib", [n]) == SourceInterpreter(
+            program
+        ).run("fib", [n])
+
+    @given(st.integers(1, 500), st.integers(1, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_gcd_object_matches_model(self, a, b):
+        obj = compile_source(GCD, "m")
+        program = parse(GCD, "m")
+        assert execute_object(obj, "m", "gcd", [a, b]) == SourceInterpreter(
+            program
+        ).run("gcd", [a, b])

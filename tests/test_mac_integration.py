@@ -1,0 +1,177 @@
+"""End-to-end MAC enforcement through the live system (experiment E12).
+
+The lattice lives at the bottom layer (labels are immutable segment
+attributes from creation); ACLs provide controlled sharing *within*
+what the lattice allows.  These tests drive real sessions with real
+clearances against the kernel.
+
+A note on structure: an *upgraded branch* (a segment whose label
+dominates its directory's) is how classified data lives in a shareable
+tree — anyone may traverse the unclassified directories, but the
+reference monitor grants each subject only the lattice-safe SDW modes
+on the branch itself.  An *upgraded directory* additionally blocks
+traversal by lower-cleared subjects (reading the directory is itself a
+read of its label).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MulticsSystem, SecurityLabel, kernel_config
+from repro.errors import AccessDenied, AccessViolation, KernelDenial
+
+
+@pytest.fixture
+def mls_system():
+    system = MulticsSystem(kernel_config()).boot()
+    system.register_user("Low", "Intel", "pw",
+                         clearance=SecurityLabel.parse("unclassified"))
+    system.register_user("Mid", "Intel", "pw",
+                         clearance=SecurityLabel.parse("confidential"))
+    system.register_user("High", "Intel", "pw",
+                         clearance=SecurityLabel.parse("secret"))
+    system.register_user("CryptoU", "Intel", "pw",
+                         clearance=SecurityLabel.parse("secret:crypto"))
+    return system
+
+
+class TestCompartmentalization:
+    def test_no_read_up_despite_open_acl(self, mls_system):
+        """Simple security dominates DAC: an rw ACL cannot grant a low
+        subject read access to a secret branch."""
+        low = mls_system.login("Low", "Intel", "pw")
+        segno = low.create_segment(
+            "plans", label=SecurityLabel.parse("secret")
+        )
+        low.set_acl("plans", "*.Intel", "rw")
+        # Even the creating (unclassified) session cannot read it back.
+        with pytest.raises(AccessViolation):
+            low.read_words(segno, 1)
+        # A properly cleared subject can.
+        high = mls_system.login("High", "Intel", "pw")
+        high_segno = high.initiate(f"{low.home_path}>plans")
+        high.read_words(high_segno, 1)
+
+    def test_no_write_down(self, mls_system):
+        low = mls_system.login("Low", "Intel", "pw")
+        high = mls_system.login("High", "Intel", "pw")
+        low.create_segment("public_notes")
+        low.set_acl("public_notes", "*.Intel", "rw")
+        high_segno = high.initiate(f"{low.home_path}>public_notes")
+        with pytest.raises(AccessViolation):
+            high.write_words(high_segno, [9])
+        high.read_words(high_segno, 1)  # read-down is fine
+
+    def test_blind_write_up(self, mls_system):
+        """A low subject may write an upgraded branch (a drop box) but
+        never read it back."""
+        low = mls_system.login("Low", "Intel", "pw")
+        segno = low.create_segment(
+            "report", label=SecurityLabel.parse("secret")
+        )
+        low.write_words(segno, [7])
+        with pytest.raises(AccessViolation):
+            low.read_words(segno, 1)
+        # The cleared reader sees the dropped data.
+        low.set_acl("report", "High.Intel", "r")
+        high = mls_system.login("High", "Intel", "pw")
+        high_segno = high.initiate(f"{low.home_path}>report")
+        assert high.read_words(high_segno, 1) == [7]
+
+    def test_upgraded_directory_blocks_traversal(self, mls_system):
+        """An upgraded *directory* hides even the names below it from
+        lower clearances — the absolute compartmentalization of the
+        paper's bottom layer."""
+        low = mls_system.login("Low", "Intel", "pw")
+        high = mls_system.login("High", "Intel", "pw")
+        low.create_dir("vault", label=SecurityLabel.parse("secret"))
+        low.set_acl("vault", "*.Intel", "rw")
+        with pytest.raises((AccessDenied, KernelDenial)):
+            low.list_dir(f"{low.home_path}>vault")
+        # High can work inside it.
+        high.set_working_dir(f"{low.home_path}>vault")
+        high.create_segment("inner", label=SecurityLabel.parse("secret"))
+        assert [e["name"] for e in high.list_dir()] == ["inner"]
+
+    def test_incomparable_compartments_isolated(self, mls_system):
+        """secret:crypto and secret:nato are incomparable: neither may
+        read nor write the other's data (note secret:crypto *dominates*
+        plain secret, so the plain-secret subject could still write up —
+        incomparability needs disjoint categories)."""
+        mls_system.register_user(
+            "NatoU", "Intel", "pw",
+            clearance=SecurityLabel.parse("secret:nato"),
+        )
+        low = mls_system.login("Low", "Intel", "pw")
+        crypto = mls_system.login("CryptoU", "Intel", "pw")
+        nato = mls_system.login("NatoU", "Intel", "pw")
+        low.create_segment(
+            "keys", label=SecurityLabel.parse("secret:crypto")
+        )
+        low.set_acl("keys", "*.Intel", "rw")
+        path = f"{low.home_path}>keys"
+        crypto_segno = crypto.initiate(path)
+        crypto.read_words(crypto_segno, 1)
+        # Disjoint category at the same level: no lattice-safe mode
+        # exists at all, so initiation itself is refused.
+        with pytest.raises((AccessDenied, KernelDenial)):
+            nato.initiate(path)
+
+    def test_labels_immutable_after_creation(self, mls_system):
+        """Tranquility: there is no gate to relabel a segment."""
+        gates = mls_system.supervisor.gates.names()
+        assert not any("set_label" in g or "relabel" in g for g in gates)
+
+    def test_directory_labels_nondecreasing(self, mls_system):
+        low = mls_system.login("Low", "Intel", "pw")
+        high = mls_system.login("High", "Intel", "pw")
+        low.create_dir("vault2", label=SecurityLabel.parse("confidential"))
+        low.set_acl("vault2", "*.Intel", "rw")
+        mid = mls_system.login("Mid", "Intel", "pw")
+        mid.set_working_dir(f"{low.home_path}>vault2")
+        with pytest.raises((AccessDenied, KernelDenial)):
+            mid.create_segment(
+                "leak", label=SecurityLabel.parse("unclassified")
+            )
+
+    def test_mac_exfiltration_blocked_at_network(self, mls_system):
+        high = mls_system.login("High", "Intel", "pw")
+        with pytest.raises((AccessDenied, KernelDenial)):
+            high.call("net_$send", "remote", "secret stuff")
+        low = mls_system.login("Low", "Intel", "pw")
+        low.call("net_$send", "remote", "unclassified stuff")  # fine
+
+
+class TestLatticeSweep:
+    @given(subject=st.integers(0, 3), object_=st.integers(0, 3))
+    @settings(max_examples=16, deadline=None)
+    def test_read_write_matrix(self, subject, object_):
+        """Property over the full level matrix, with upgraded branches
+        in a universally traversable directory and a wide-open ACL:
+        reads succeed iff subject >= object, writes iff subject <=
+        object — the two BLP rules, enforced by the hardware SDW the
+        kernel built."""
+        system = MulticsSystem(kernel_config()).boot()
+        system.register_user("Sub", "Intel", "pw",
+                             clearance=SecurityLabel(subject))
+        system.register_user("Builder", "Intel", "pw")  # unclassified
+        builder = system.login("Builder", "Intel", "pw")
+        builder.create_segment("obj", label=SecurityLabel(object_))
+        builder.set_acl("obj", "*.Intel", "rw")
+        path = f"{builder.home_path}>obj"
+
+        sub = system.login("Sub", "Intel", "pw")
+        segno = sub.initiate(path)
+        can_read = True
+        try:
+            sub.read_words(segno, 1)
+        except AccessViolation:
+            can_read = False
+        can_write = True
+        try:
+            sub.write_words(segno, [1])
+        except AccessViolation:
+            can_write = False
+        assert can_read == (subject >= object_)
+        assert can_write == (subject <= object_)

@@ -1,0 +1,191 @@
+"""Coverage for the remaining seams: the login listener, the legacy
+device gates, metrics dataclasses, and CPU execution under real memory
+pressure."""
+
+import pytest
+
+from repro.errors import AuthenticationError, InvalidArgument, KernelDenial
+from repro.hw.cpu import Instruction as I
+from repro.hw.cpu import Op
+from repro.user.object_format import ObjectSegment
+
+
+class TestLoginListener:
+    def test_failed_attempts_counted(self, kernel_system):
+        listener = kernel_system.listener
+        before = listener.failed_attempts
+        with pytest.raises((AuthenticationError, KernelDenial)):
+            listener.login("Alice", "Crypto", "wrong")
+        assert listener.failed_attempts == before + 1
+        assert any("incorrect" in line for line in listener.transcript)
+
+    def test_session_accounting(self, kernel_system):
+        listener = kernel_system.listener
+        before = listener.active_count
+        session = kernel_system.login("Alice", "Crypto", "alice-pw")
+        assert listener.active_count == before + 1
+        assert listener.whoami(session.session_id) == "Alice.Crypto"
+        session.logout()
+        assert listener.active_count == before
+
+    def test_logout_unknown_session(self, kernel_system):
+        with pytest.raises(KeyError):
+            kernel_system.listener.logout(99999)
+
+    def test_greeting_in_transcript(self, kernel_system):
+        kernel_system.login("Alice", "Crypto", "alice-pw")
+        assert kernel_system.listener.greeting in kernel_system.listener.transcript
+
+
+class TestLegacyAnsweringService:
+    def test_whoami_and_sessions(self, legacy_system):
+        from repro.config import USER_RING
+        from repro.proc.process import Process
+        from repro.security.principal import KERNEL_PRINCIPAL
+
+        session = legacy_system.login("Alice", "Crypto", "alice-pw")
+        driver = Process("drv", ring=USER_RING, principal=KERNEL_PRINCIPAL)
+        sup = legacy_system.supervisor
+        assert sup.call(driver, "as_$whoami", session.session_id) == "Alice.Crypto"
+        sessions = sup.call(driver, "as_$list_sessions")
+        assert any(s[1] == "Alice" for s in sessions)
+
+    def test_change_password(self, legacy_system):
+        from repro.config import USER_RING
+        from repro.proc.process import Process
+        from repro.security.principal import KERNEL_PRINCIPAL
+
+        driver = Process("drv", ring=USER_RING, principal=KERNEL_PRINCIPAL)
+        sup = legacy_system.supervisor
+        sup.call(driver, "as_$change_password", "Alice", "alice-pw", "new-pw")
+        with pytest.raises((AuthenticationError, KernelDenial)):
+            legacy_system.login("Alice", "Crypto", "alice-pw")
+        assert legacy_system.login("Alice", "Crypto", "new-pw")
+
+    def test_change_password_wrong_old(self, legacy_system):
+        from repro.config import USER_RING
+        from repro.proc.process import Process
+        from repro.security.principal import KERNEL_PRINCIPAL
+
+        driver = Process("drv", ring=USER_RING, principal=KERNEL_PRINCIPAL)
+        with pytest.raises(AuthenticationError):
+            legacy_system.supervisor.call(
+                driver, "as_$change_password", "Alice", "nope", "new"
+            )
+
+
+class TestLegacyDeviceGates:
+    def test_terminal_gates(self, legacy_system):
+        session = legacy_system.login("Alice", "Crypto", "alice-pw")
+        # tty1 may be held by the login session already; use detach-safe flow.
+        tty = legacy_system.services.devices["tty1"]
+        if tty.attached_by is not None:
+            tty.detach(tty.attached_by)
+        session.call("ios_$tty_attach", "tty1")
+        session.call("ios_$tty_write", "tty1", "hello terminal")
+        assert "hello terminal" in tty.output
+        tty.type_line("typed input")
+        assert session.call("ios_$tty_read", "tty1") == "typed input"
+        session.call("ios_$tty_detach", "tty1")
+
+    def test_tape_gates(self, legacy_system):
+        session = legacy_system.login("Alice", "Crypto", "alice-pw")
+        session.call("ios_$tape_attach", "tape1")
+        session.call("ios_$tape_write", "tape1", [1, 2, 3])
+        legacy_system.services.devices["tape1"].rewind(session.process.pid)
+        assert session.call("ios_$tape_read", "tape1") == [1, 2, 3]
+        session.call("ios_$tape_detach", "tape1")
+
+    def test_unit_record_gates(self, legacy_system):
+        session = legacy_system.login("Alice", "Crypto", "alice-pw")
+        legacy_system.services.devices["rdr1"].load_deck(["a card"])
+        assert session.call("ios_$card_read", "rdr1") == "a card"
+        session.call("ios_$card_punch", "pun1", "punched")
+        assert legacy_system.services.devices["pun1"].stacker == ["punched"]
+        session.call("ios_$print_line", "prt1", "printed line")
+        assert legacy_system.services.devices["prt1"].lines_printed == 1
+
+    def test_wrong_device_class_rejected(self, legacy_system):
+        session = legacy_system.login("Alice", "Crypto", "alice-pw")
+        with pytest.raises(InvalidArgument):
+            session.call("ios_$tape_read", "tty1")
+
+    def test_kernel_has_no_device_gates(self, kernel_system):
+        from repro.kernel.gates import GateViolationError
+
+        session = kernel_system.login("Alice", "Crypto", "alice-pw")
+        with pytest.raises(GateViolationError):
+            session.call("ios_$print_line", "prt1", "x")
+
+    def test_network_gates_on_both(self, any_system):
+        session = any_system.login("Alice", "Crypto", "alice-pw")
+        session.call("net_$attach")
+        seq = session.call("net_$send", "remote-host", "ping")
+        assert seq >= 1
+        any_system.services.network.deliver("remote-host", "pong")
+        message = session.call("net_$receive")
+        assert message["body"] == "pong"
+        status = session.call("net_$status")
+        assert status["lost"] == 0
+        session.call("net_$detach")
+
+
+class TestMetricsDataclasses:
+    def test_gate_census_removable(self):
+        from repro.kernel.legacy import build_legacy
+        from repro.kernel.metrics import gate_census
+
+        census = gate_census(build_legacy())
+        assert census.removable == census.user_available - census.by_removal["kept"]
+
+    def test_size_report_total(self):
+        from repro.kernel.kernel import build_kernel
+        from repro.kernel.metrics import protected_code_report
+
+        size = protected_code_report(build_kernel())
+        assert size.total == sum(size.per_module.values())
+        assert all(v > 0 for v in size.per_module.values())
+
+    def test_removal_comparison_zero_before(self):
+        from repro.kernel.metrics import RemovalComparison
+
+        comparison = RemovalComparison("x", before=0, removed=0)
+        assert comparison.fraction_removed == 0.0
+
+
+class TestCpuUnderMemoryPressure:
+    def test_program_runs_with_tiny_core(self):
+        """A data-heavy program on a system whose core is smaller than
+        its working set: the CPU's fault hook drives real page control
+        throughout execution."""
+        from repro import MulticsSystem, kernel_config
+
+        system = MulticsSystem(
+            kernel_config(core_frames=6, bulk_frames=16, disk_frames=256,
+                          page_size=16)
+        ).boot()
+        system.register_user("Alice", "Crypto", "pw")
+        session = system.login("Alice", "Crypto", "pw")
+        data_segno = session.create_segment("bigdata", n_pages=8)
+
+        # sum words 0..63 of the data segment (all pages touched).
+        program = ObjectSegment(
+            "summer",
+            code=[
+                I(Op.PUSHI, 0), I(Op.STOREF, 0),   # acc
+                I(Op.PUSHI, 0), I(Op.STOREF, 1),   # i
+                # loop:
+                I(Op.LOADF, 1), I(Op.PUSHI, 64), I(Op.LT), I(Op.JZ, 18),
+                I(Op.LOADF, 0), I(Op.LOADF, 1), I(Op.LOADI, data_segno),
+                I(Op.ADD), I(Op.STOREF, 0),
+                I(Op.LOADF, 1), I(Op.PUSHI, 1), I(Op.ADD), I(Op.STOREF, 1),
+                I(Op.JMP, 4),
+                I(Op.LOADF, 0), I(Op.RET),
+            ],
+            definitions={"main": 0},
+        )
+        session.write_words(data_segno, [2] * 64)
+        prog_segno = session.install_object("summer", program)
+        faults_before = system.services.page_control.faults_serviced
+        assert session.run_program(prog_segno) == 128
+        assert system.services.page_control.faults_serviced > faults_before

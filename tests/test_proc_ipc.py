@@ -1,0 +1,89 @@
+"""Tests for event channels and simcall objects."""
+
+import pytest
+
+from repro.errors import AccessViolation
+from repro.hw.rings import RingBrackets
+from repro.hw.segmentation import SDW, AccessMode
+from repro.proc.ipc import (
+    Block,
+    Charge,
+    EventChannel,
+    Now,
+    Wakeup,
+    guarded_by_segment_write,
+)
+from repro.proc.process import Process
+
+
+class TestSimCalls:
+    def test_charge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Charge(-1)
+
+    def test_charge_ok(self):
+        assert Charge(5).cycles == 5
+
+    def test_block_and_wakeup_carry_channel(self):
+        ch = EventChannel("x")
+        assert Block(ch).channel is ch
+        assert Wakeup(ch, "msg").message == "msg"
+
+    def test_now_is_stateless(self):
+        assert Now() == Now()
+
+
+class TestEventChannel:
+    def test_repr(self):
+        ch = EventChannel("pc.free")
+        assert "pc.free" in repr(ch)
+
+    def test_has_work(self):
+        ch = EventChannel("x")
+        assert not ch.has_work()
+        ch.pending.append(None)
+        assert ch.has_work()
+
+    def test_kernel_sender_bypasses_guard(self):
+        def deny(sender):
+            raise AccessViolation("no")
+
+        ch = EventChannel("x", guard=deny)
+        ch.check_sender(None)  # kernel: no exception
+
+    def test_guard_applied_to_processes(self):
+        def deny(sender):
+            raise AccessViolation("no")
+
+        ch = EventChannel("x", guard=deny)
+        with pytest.raises(AccessViolation):
+            ch.check_sender(Process("evil"))
+
+
+class TestSegmentWriteGuard:
+    def make_process(self, access, ring=4, segno=30):
+        proc = Process("p", ring=ring)
+        proc.dseg.add(
+            SDW(
+                segno=segno,
+                access=access,
+                brackets=RingBrackets(ring, ring, ring),
+                page_table=[],
+                bound=16,
+            )
+        )
+        return proc
+
+    def test_writer_may_send(self):
+        guard = guarded_by_segment_write(30)
+        guard(self.make_process(AccessMode.RW))
+
+    def test_reader_may_not_send(self):
+        guard = guarded_by_segment_write(30)
+        with pytest.raises(AccessViolation):
+            guard(self.make_process(AccessMode.R))
+
+    def test_unmapped_segment_denied(self):
+        guard = guarded_by_segment_write(99)
+        with pytest.raises(AccessViolation):
+            guard(self.make_process(AccessMode.RW, segno=30))

@@ -1,0 +1,372 @@
+"""Tests for the traffic controller and the two-layer process design."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import AccessViolation
+from repro.hw.clock import Simulator
+from repro.proc.ipc import Block, Charge, Now, Wakeup
+from repro.proc.process import Process, ProcessState
+from repro.proc.scheduler import TrafficController
+from repro.proc.virtual_processor import VirtualProcessorTable
+
+
+@pytest.fixture
+def tc(config: SystemConfig):
+    return TrafficController(Simulator(), config)
+
+
+def run(tc):
+    tc.run(max_events=100_000)
+
+
+class TestBasicExecution:
+    def test_process_runs_to_completion(self, tc):
+        def body(proc):
+            yield Charge(10)
+            return 42
+
+        p = Process("worker", body=body)
+        tc.add_process(p)
+        run(tc)
+        assert p.state is ProcessState.STOPPED
+        assert p.result == 42
+        assert p.cpu_cycles == 10
+        assert tc.sim.clock.now == 10
+
+    def test_two_processes_share_one_processor(self, tc):
+        def body(proc):
+            yield Charge(100)
+
+        a, b = Process("a", body=body), Process("b", body=body)
+        tc.add_process(a)
+        tc.add_process(b)
+        run(tc)
+        assert a.state is ProcessState.STOPPED
+        assert b.state is ProcessState.STOPPED
+        # One processor: total elapsed is the sum.
+        assert tc.sim.clock.now == 200
+
+    def test_two_processors_run_in_parallel(self, config):
+        config.n_processors = 2
+        tc = TrafficController(Simulator(), config)
+
+        def body(proc):
+            yield Charge(100)
+
+        a, b = Process("a", body=body), Process("b", body=body)
+        tc.add_process(a)
+        tc.add_process(b)
+        run(tc)
+        assert tc.sim.clock.now == 100
+
+    def test_now_simcall(self, tc):
+        seen = []
+
+        def body(proc):
+            seen.append((yield Now()))
+            yield Charge(7)
+            seen.append((yield Now()))
+
+        tc.add_process(Process("t", body=body))
+        run(tc)
+        assert seen == [0, 7]
+
+    def test_crashing_process_marked_failed(self, tc):
+        def body(proc):
+            yield Charge(1)
+            raise RuntimeError("boom")
+
+        p = Process("crash", body=body)
+        tc.add_process(p)
+        run(tc)
+        assert p.state is ProcessState.FAILED
+        assert isinstance(p.failure, RuntimeError)
+
+    def test_unknown_simcall_fails_process(self, tc):
+        def body(proc):
+            yield "nonsense"
+
+        p = Process("bad", body=body)
+        tc.add_process(p)
+        run(tc)
+        assert p.state is ProcessState.FAILED
+        assert isinstance(p.failure, TypeError)
+
+    def test_cannot_admit_twice(self, tc):
+        p = Process("p", body=lambda proc: iter(()))
+
+        def body(proc):
+            yield Charge(1)
+
+        p = Process("p", body=body)
+        tc.add_process(p)
+        with pytest.raises(ValueError):
+            tc.add_process(p)
+
+
+class TestBlockWakeup:
+    def test_block_until_wakeup(self, tc):
+        ch = tc.create_channel("ch")
+        log = []
+
+        def waiter(proc):
+            msg = yield Block(ch)
+            log.append(("woke", msg, (yield Now())))
+
+        def waker(proc):
+            yield Charge(50)
+            yield Wakeup(ch, "hello")
+
+        tc.add_process(Process("waiter", body=waiter))
+        tc.add_process(Process("waker", body=waker))
+        run(tc)
+        assert log == [("woke", "hello", 50)]
+
+    def test_wakeup_waiting_switch(self, tc):
+        """A wakeup sent before the block is remembered, not lost."""
+        ch = tc.create_channel("ch")
+        log = []
+
+        def waker(proc):
+            yield Wakeup(ch, "early")
+
+        def waiter(proc):
+            yield Charge(100)  # block long after the wakeup
+            msg = yield Block(ch)
+            log.append(msg)
+
+        tc.add_process(Process("waker", body=waker))
+        tc.add_process(Process("waiter", body=waiter))
+        run(tc)
+        assert log == ["early"]
+
+    def test_fifo_delivery_to_multiple_waiters(self, tc):
+        ch = tc.create_channel("ch")
+        order = []
+
+        def waiter(tag):
+            def body(proc):
+                yield Block(ch)
+                order.append(tag)
+
+            return body
+
+        for tag in ("first", "second"):
+            tc.add_process(Process(tag, body=waiter(tag)))
+        run(tc)
+
+        def waker(proc):
+            yield Wakeup(ch)
+            yield Wakeup(ch)
+
+        tc.add_process(Process("waker", body=waker))
+        run(tc)
+        assert order == ["first", "second"]
+
+    def test_guarded_channel_raises_in_sender(self, tc):
+        def deny(sender):
+            raise AccessViolation("not yours")
+
+        ch = tc.create_channel("guarded", guard=deny)
+        outcome = []
+
+        def sender(proc):
+            try:
+                yield Wakeup(ch)
+            except AccessViolation:
+                outcome.append("denied")
+
+        tc.add_process(Process("sender", body=sender))
+        run(tc)
+        assert outcome == ["denied"]
+
+    def test_kernel_wakeup_bypasses_guard(self, tc):
+        def deny(sender):
+            raise AccessViolation("no")
+
+        ch = tc.create_channel("guarded", guard=deny)
+        got = []
+
+        def waiter(proc):
+            got.append((yield Block(ch)))
+
+        tc.add_process(Process("w", body=waiter))
+        run(tc)
+        tc.send_wakeup(ch, "from-device", sender=None)
+        run(tc)
+        assert got == ["from-device"]
+
+
+class TestSchedulingPolicy:
+    def test_quantum_preemption_round_robins(self, config):
+        config.quantum = 10
+        tc = TrafficController(Simulator(), config)
+        finish = {}
+
+        def body(name):
+            def gen(proc):
+                for _ in range(5):
+                    yield Charge(10)
+                finish[name] = tc.sim.clock.now
+
+            return gen
+
+        a = Process("a", body=body("a"))
+        b = Process("b", body=body("b"))
+        tc.add_process(a)
+        tc.add_process(b)
+        run(tc)
+        # With preemption both finish near the end; without it, "a"
+        # would finish at 50 while "b" waited.
+        assert finish["a"] > 50
+        assert a.preemptions > 0
+
+    def test_dedicated_process_scheduled_first(self, config):
+        tc = TrafficController(Simulator(), config)
+        order = []
+
+        def body(name):
+            def gen(proc):
+                order.append(name)
+                yield Charge(1)
+
+            return gen
+
+        def busy_body(proc):
+            yield Charge(100)
+
+        # Occupy the single processor, then admit user before kernel.
+        busy = Process("busy", body=busy_body)
+        user = Process("user", body=body("user"))
+        kernel = Process("kernel", body=body("kernel"), dedicated=True)
+        tc.add_process(busy)
+        tc.add_process(user)
+        tc.add_process(kernel)
+        run(tc)
+        # When the processor frees, the kernel queue has priority even
+        # though the user was admitted first.
+        assert order == ["kernel", "user"]
+
+    def test_dedicated_process_never_preempted(self, config):
+        config.quantum = 5
+        tc = TrafficController(Simulator(), config)
+
+        def kernel_body(proc):
+            for _ in range(10):
+                yield Charge(10)
+
+        def user_body(proc):
+            yield Charge(1)
+
+        k = Process("k", body=kernel_body, dedicated=True)
+        u = Process("u", body=user_body)
+        tc.add_process(k)
+        tc.add_process(u)
+        run(tc)
+        assert k.preemptions == 0
+
+
+class TestVirtualProcessorLayer:
+    def test_vp_table_fixed_size(self):
+        vpt = VirtualProcessorTable(4)
+        assert len(vpt) == 4
+        with pytest.raises(ValueError):
+            VirtualProcessorTable(1)
+
+    def test_dedication_consumes_vp(self):
+        vpt = VirtualProcessorTable(3)
+        p = Process("k", dedicated=True)
+        vp = vpt.dedicate(p)
+        assert vp.is_dedicated
+        assert vpt.dedicated_total == 1
+        assert vpt.pooled_total == 2
+
+    def test_cannot_dedicate_last_pooled_vp(self):
+        vpt = VirtualProcessorTable(2)
+        vpt.dedicate(Process("k1", dedicated=True))
+        with pytest.raises(RuntimeError):
+            vpt.dedicate(Process("k2", dedicated=True))
+
+    def test_release_dedicated_vp_forbidden(self):
+        vpt = VirtualProcessorTable(3)
+        p = Process("k", dedicated=True)
+        vpt.dedicate(p)
+        with pytest.raises(RuntimeError):
+            vpt.release(p)
+
+    def test_acquire_and_release(self):
+        vpt = VirtualProcessorTable(2)
+        a, b, c = Process("a"), Process("b"), Process("c")
+        assert vpt.acquire(a) is not None
+        assert vpt.acquire(b) is not None
+        assert vpt.acquire(c) is None  # pool exhausted
+        vpt.release(a)
+        assert vpt.acquire(c) is not None
+
+    def test_more_processes_than_vps_all_complete(self, config):
+        """Level 2 multiplexes 'any desired number' of processes onto
+        the fixed VP population."""
+        config.n_virtual_processors = 2
+        config.n_processors = 1
+        tc = TrafficController(Simulator(), config)
+
+        def body(proc):
+            yield Charge(10)
+            yield Block(tc.create_channel(f"ch.{proc.pid}"))
+
+        def simple(proc):
+            yield Charge(10)
+
+        procs = [Process(f"p{i}", body=simple) for i in range(8)]
+        for p in procs:
+            tc.add_process(p)
+        run(tc)
+        assert all(p.state is ProcessState.STOPPED for p in procs)
+        assert tc.vp_waits > 0  # some had to wait for a VP
+
+    def test_blocked_process_yields_vp_to_waiter(self, config):
+        config.n_virtual_processors = 2
+        config.n_processors = 1
+        tc = TrafficController(Simulator(), config)
+        ch = tc.create_channel("rendezvous")
+        log = []
+
+        def blocker(proc):
+            yield Charge(1)
+            yield Block(ch)
+            log.append("blocker-woke")
+
+        def late(proc):
+            yield Charge(1)
+            log.append("late-ran")
+            yield Wakeup(ch)
+
+        blockers = [Process(f"b{i}", body=blocker) for i in range(2)]
+        for p in blockers:
+            tc.add_process(p)
+        lateproc = Process("late", body=late)
+        tc.add_process(lateproc)  # no VP free at admission
+        assert lateproc.state is ProcessState.WAITING_VP
+        run(tc)
+        assert "late-ran" in log
+        assert "blocker-woke" in log
+
+
+class TestStructuralClaims:
+    def test_level1_does_not_import_vm_or_fs(self):
+        """Paper: the first layer 'need not depend on the facilities for
+        managing the virtual memory'."""
+        import ast
+        import inspect
+
+        import repro.proc.virtual_processor as level1
+
+        tree = ast.parse(inspect.getsource(level1))
+        imported = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imported.add(node.module)
+        assert not any(m.startswith(("repro.vm", "repro.fs")) for m in imported)

@@ -1,0 +1,125 @@
+"""Tests for the MITRE compartment lattice (MAC)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security.mac import (
+    BOTTOM,
+    LEVEL_NAMES,
+    SecurityLabel,
+    dominates,
+    flow_allowed,
+    may_read,
+    may_write,
+)
+
+CATS = ["crypto", "nato", "nuclear", "sigint"]
+
+
+def labels():
+    return st.builds(
+        SecurityLabel,
+        level=st.integers(0, len(LEVEL_NAMES) - 1),
+        categories=st.sets(st.sampled_from(CATS)).map(frozenset),
+    )
+
+
+class TestBasics:
+    def test_bottom(self):
+        assert BOTTOM.level == 0
+        assert BOTTOM.categories == frozenset()
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            SecurityLabel(level=9)
+        with pytest.raises(ValueError):
+            SecurityLabel(level=-1)
+
+    def test_parse(self):
+        label = SecurityLabel.parse("secret:crypto,nato")
+        assert label.level == 2
+        assert label.categories == {"crypto", "nato"}
+
+    def test_parse_no_categories(self):
+        assert SecurityLabel.parse("top_secret") == SecurityLabel(3)
+
+    def test_parse_unknown_level(self):
+        with pytest.raises(ValueError):
+            SecurityLabel.parse("mundane")
+
+    def test_str_roundtrip(self):
+        label = SecurityLabel.parse("confidential:nato")
+        assert SecurityLabel.parse(str(label)) == label
+
+    def test_dominates_needs_level_and_categories(self):
+        secret_crypto = SecurityLabel(2, frozenset({"crypto"}))
+        secret = SecurityLabel(2)
+        ts = SecurityLabel(3)
+        assert secret_crypto.dominates(secret)
+        assert not secret.dominates(secret_crypto)
+        assert ts.dominates(secret)
+        assert not ts.dominates(secret_crypto)  # missing category
+
+
+class TestRules:
+    def test_no_read_up(self):
+        low = SecurityLabel(0)
+        high = SecurityLabel(2)
+        assert may_read(high, low)
+        assert not may_read(low, high)
+
+    def test_no_write_down(self):
+        low = SecurityLabel(0)
+        high = SecurityLabel(2)
+        assert may_write(low, high)
+        assert not may_write(high, low)
+
+    def test_incomparable_labels_isolated(self):
+        """Distinct compartments at the same level can neither read nor
+        write each other: absolute compartmentalization."""
+        a = SecurityLabel(2, frozenset({"crypto"}))
+        b = SecurityLabel(2, frozenset({"nato"}))
+        assert not may_read(a, b) and not may_read(b, a)
+        assert not may_write(a, b) and not may_write(b, a)
+
+
+class TestLatticeProperties:
+    @given(labels())
+    def test_dominates_reflexive(self, a):
+        assert a.dominates(a)
+
+    @given(labels(), labels())
+    def test_dominates_antisymmetric(self, a, b):
+        if a.dominates(b) and b.dominates(a):
+            assert a == b
+
+    @given(labels(), labels(), labels())
+    def test_dominates_transitive(self, a, b, c):
+        if a.dominates(b) and b.dominates(c):
+            assert a.dominates(c)
+
+    @given(labels(), labels())
+    def test_lub_is_upper_bound(self, a, b):
+        up = a.lub(b)
+        assert up.dominates(a) and up.dominates(b)
+
+    @given(labels(), labels())
+    def test_glb_is_lower_bound(self, a, b):
+        down = a.glb(b)
+        assert a.dominates(down) and b.dominates(down)
+
+    @given(labels(), labels())
+    def test_flow_matches_dominance(self, a, b):
+        assert flow_allowed(a, b) == dominates(b, a)
+
+    @given(labels(), labels())
+    def test_no_bidirectional_flow_between_distinct_labels(self, a, b):
+        """Information can flow both ways only between equal labels —
+        the lattice's leak-freedom core."""
+        if flow_allowed(a, b) and flow_allowed(b, a):
+            assert a == b
+
+    @given(labels())
+    def test_bottom_flows_everywhere(self, a):
+        assert flow_allowed(BOTTOM, a)

@@ -1,0 +1,139 @@
+"""Tests for protected subsystems and the unified entry mechanism."""
+
+import pytest
+
+from repro.errors import AccessDenied, InvalidArgument, NoSuchEntry
+from repro.subsys.process_creation import make_environment
+from repro.subsys.protected_subsystem import SubsystemManager
+
+
+@pytest.fixture
+def env(kernel_system):
+    alice = kernel_system.login("Alice", "Crypto", "alice-pw")
+    manager = SubsystemManager(kernel_system.services)
+    return kernel_system, alice, manager
+
+
+def build_mail_subsystem(manager, owner):
+    """A tiny mail system: a common mechanism among consenting users."""
+    mail = manager.create(owner.process, "mail", ring=2)
+    mail.private_data["boxes"] = {}
+
+    def deliver(ctx, recipient, text):
+        ctx.data["boxes"].setdefault(recipient, []).append(
+            (str(ctx.caller), text)
+        )
+        return len(ctx.data["boxes"][recipient])
+
+    def read_box(ctx):
+        me = ctx.caller.person
+        return list(ctx.data["boxes"].get(me, []))
+
+    mail.declare("deliver", deliver, n_args=2)
+    mail.declare("read", read_box, n_args=0)
+    return mail
+
+
+class TestUnifiedMechanism:
+    def test_make_environment(self, kernel_system):
+        from repro.security.principal import Principal
+
+        services = kernel_system.services
+        before = len(services.created_processes)
+        process = make_environment(
+            services, Principal("X", "Y"), ring=2, name="env"
+        )
+        assert process.ring == 2
+        assert len(services.created_processes) == before + 1
+
+    def test_login_and_subsystem_entry_share_the_mechanism(self, env):
+        """E14's equivalence: both paths go through make_environment /
+        the proc_create gate."""
+        system, alice, manager = env
+        mail = build_mail_subsystem(manager, alice)
+        entries_before = manager.entries_made
+        manager.enter(alice.process, "mail", "deliver", "Bob", "hi")
+        assert manager.entries_made == entries_before + 1
+
+    def test_entry_environment_is_transient(self, env):
+        system, alice, manager = env
+        build_mail_subsystem(manager, alice)
+        before = set(system.services.created_processes)
+        manager.enter(alice.process, "mail", "deliver", "Bob", "hi")
+        assert set(system.services.created_processes) == before
+
+
+class TestProtectedSubsystem:
+    def test_entry_semantics(self, env):
+        system, alice, manager = env
+        mail = build_mail_subsystem(manager, alice)
+        bob = system.login("Bob", "Crypto", "bob-pw")
+        manager.enter(alice.process, "mail", "deliver", "Bob", "lunch?")
+        inbox = manager.enter(bob.process, "mail", "read")
+        assert inbox == [("Alice.Crypto.a", "lunch?")]
+
+    def test_private_data_not_reachable_from_user_ring(self, env):
+        """The subsystem's segments are writable only in its ring; user
+        code must enter through declared entries."""
+        system, alice, manager = env
+        mail = build_mail_subsystem(manager, alice)
+        assert mail.brackets().in_call_bracket(alice.process.ring)
+        assert not mail.brackets().may_write(alice.process.ring)
+
+    def test_undeclared_entry_rejected(self, env):
+        system, alice, manager = env
+        build_mail_subsystem(manager, alice)
+        with pytest.raises(NoSuchEntry):
+            manager.enter(alice.process, "mail", "steal_boxes")
+
+    def test_argument_count_checked(self, env):
+        system, alice, manager = env
+        build_mail_subsystem(manager, alice)
+        with pytest.raises(InvalidArgument):
+            manager.enter(alice.process, "mail", "deliver", "only-one")
+
+    def test_membership_enforced(self, env):
+        system, alice, manager = env
+        mail = build_mail_subsystem(manager, alice)
+        mail.members = {"Alice", "Bob"}
+        eve = system.login("Eve", "Spies", "eve-pw")
+        with pytest.raises(AccessDenied):
+            manager.enter(eve.process, "mail", "read")
+
+    def test_subsystem_ring_must_be_intermediate(self, env):
+        system, alice, manager = env
+        with pytest.raises(InvalidArgument):
+            manager.create(alice.process, "bad", ring=0)
+        with pytest.raises(InvalidArgument):
+            manager.create(alice.process, "bad", ring=alice.process.ring)
+
+    def test_duplicate_subsystem_rejected(self, env):
+        system, alice, manager = env
+        build_mail_subsystem(manager, alice)
+        with pytest.raises(InvalidArgument):
+            manager.create(alice.process, "mail", ring=2)
+
+    def test_trojan_containment(self, env):
+        """A borrowed entry handler (a trojan) runs inside the
+        subsystem: it can corrupt the subsystem's own data but holds no
+        handle on the caller's segments — the paper's borrowed-program
+        mitigation."""
+        system, alice, manager = env
+        trojan_loot = []
+        box = manager.create(alice.process, "borrowed", ring=3)
+        box.private_data["store"] = []
+
+        def trojan(ctx):
+            # All it can see: the context. Record every attribute it
+            # can reach; none of them is the caller's address space.
+            trojan_loot.extend(
+                name for name in dir(ctx) if not name.startswith("_")
+            )
+            ctx.data["store"].append("corrupted")
+            return "done"
+
+        box.declare("run", trojan, n_args=0)
+        manager.enter(alice.process, "borrowed", "run")
+        assert set(trojan_loot) == {"subsystem", "caller", "data"}
+        # Damage is confined to the subsystem's own data.
+        assert box.private_data["store"] == ["corrupted"]

@@ -1,0 +1,223 @@
+"""Tests for the two page-control designs."""
+
+import pytest
+
+from repro.config import PageControlKind, SystemConfig
+from repro.hw.clock import Simulator
+from repro.hw.memory import MemoryHierarchy
+from repro.proc.process import Process, ProcessState
+from repro.proc.scheduler import TrafficController
+from repro.vm.page_control import (
+    ParallelPageControl,
+    SequentialPageControl,
+    make_page_control,
+)
+from repro.vm.segment_control import ActiveSegmentTable
+
+
+def build(config: SystemConfig, kind: PageControlKind):
+    sim = Simulator()
+    tc = TrafficController(sim, config)
+    hierarchy = MemoryHierarchy(config)
+    ast = ActiveSegmentTable(hierarchy)
+    pc = make_page_control(kind, sim, tc, hierarchy, ast, config)
+    return sim, tc, hierarchy, ast, pc
+
+
+@pytest.fixture(params=[PageControlKind.SEQUENTIAL, PageControlKind.PARALLEL])
+def stack(request, config):
+    return build(config, request.param)
+
+
+class TestCommonBehaviour:
+    def test_fault_brings_page_into_core(self, stack):
+        sim, tc, hierarchy, ast, pc = stack
+        seg = ast.activate(uid=1, n_pages=2)
+
+        def body(proc):
+            yield from pc.fault(proc, seg, 0)
+
+        p = Process("faulter", body=body)
+        tc.add_process(p)
+        tc.run(max_events=100_000)
+        assert p.state is ProcessState.STOPPED
+        assert seg.ptws[0].in_core
+        assert seg.homes[0] is None
+        assert pc.faults_serviced == 1
+        assert p.page_faults == 1
+
+    def test_fault_latency_recorded(self, stack):
+        sim, tc, hierarchy, ast, pc = stack
+        seg = ast.activate(uid=1, n_pages=1)
+
+        def body(proc):
+            yield from pc.fault(proc, seg, 0)
+
+        p = Process("faulter", body=body)
+        tc.add_process(p)
+        tc.run(max_events=100_000)
+        assert len(pc.fault_records) == 1
+        record = pc.fault_records[0]
+        assert record.latency > 0
+        assert p.fault_wait_cycles == record.latency
+
+    def test_touch_faults_then_charges(self, stack):
+        sim, tc, hierarchy, ast, pc = stack
+        seg = ast.activate(uid=1, n_pages=1)
+
+        def body(proc):
+            yield from pc.touch(proc, seg, 0, write=True)
+            yield from pc.touch(proc, seg, 0)  # second touch: no fault
+
+        p = Process("toucher", body=body)
+        tc.add_process(p)
+        tc.run(max_events=100_000)
+        assert p.page_faults == 1
+        assert seg.ptws[0].modified
+
+    def test_working_set_larger_than_core_evicts(self, stack):
+        sim, tc, hierarchy, ast, pc = stack
+        n_pages = hierarchy.core.n_frames + 4
+        seg = ast.activate(uid=1, n_pages=n_pages)
+
+        def body(proc):
+            for page in range(n_pages):
+                yield from pc.touch(proc, seg, page)
+
+        p = Process("sweeper", body=body)
+        tc.add_process(p)
+        tc.run(max_events=500_000)
+        assert p.state is ProcessState.STOPPED
+        assert pc.core_evictions > 0
+        assert hierarchy.core.used_count <= hierarchy.core.n_frames
+
+    def test_sync_service_path(self, stack):
+        sim, tc, hierarchy, ast, pc = stack
+        seg = ast.activate(uid=2, n_pages=1)
+        cost = pc.service_sync(seg, 0)
+        assert seg.ptws[0].in_core
+        assert cost >= hierarchy.disk.transfer_cost
+
+    def test_sync_service_cascade_under_pressure(self, stack):
+        sim, tc, hierarchy, ast, pc = stack
+        n = hierarchy.core.n_frames + 2
+        seg = ast.activate(uid=2, n_pages=n)
+        for page in range(n):
+            pc.service_sync(seg, page)
+        assert pc.core_evictions >= 2
+
+
+class TestSequentialSpecific:
+    def test_cascade_steps_charged_to_faulter(self, config):
+        """Under full core the faulting process itself performs the
+        eviction steps (the complexity the paper criticizes)."""
+        sim, tc, hierarchy, ast, pc = build(config, PageControlKind.SEQUENTIAL)
+        assert isinstance(pc, SequentialPageControl)
+        n = hierarchy.core.n_frames + 2
+        seg = ast.activate(uid=1, n_pages=n)
+
+        def body(proc):
+            for page in range(n):
+                yield from pc.touch(proc, seg, page)
+
+        p = Process("f", body=body)
+        tc.add_process(p)
+        tc.run(max_events=500_000)
+        multi_step = [r for r in pc.fault_records if r.steps_in_faulter > 1]
+        assert multi_step, "expected cascaded faults with >1 step in faulter"
+
+    def test_triple_cascade_when_bulk_full(self, config):
+        """When the bulk store is also full, the faulter additionally
+        moves a page to disk: three levels of work in one fault."""
+        config.core_frames = 4
+        config.bulk_frames = 4
+        config.disk_frames = 64
+        sim, tc, hierarchy, ast, pc = build(config, PageControlKind.SEQUENTIAL)
+        seg = ast.activate(uid=1, n_pages=16)
+
+        def body(proc):
+            for page in range(16):
+                yield from pc.touch(proc, seg, page)
+
+        p = Process("f", body=body)
+        tc.add_process(p)
+        tc.run(max_events=500_000)
+        assert pc.bulk_evictions > 0
+        assert p.state is ProcessState.STOPPED
+
+
+class TestParallelSpecific:
+    def test_freer_processes_installed(self, config):
+        sim, tc, hierarchy, ast, pc = build(config, PageControlKind.PARALLEL)
+        assert isinstance(pc, ParallelPageControl)
+        assert pc.core_freer is not None and pc.core_freer.dedicated
+        assert pc.bulk_freer is not None and pc.bulk_freer.dedicated
+        assert tc.vpt.dedicated_total == 2
+
+    def test_faulting_path_is_single_step(self, config):
+        """Paper: the faulting process 'can just wait until a primary
+        memory block is free and then initiate the transfer'."""
+        sim, tc, hierarchy, ast, pc = build(config, PageControlKind.PARALLEL)
+        n = hierarchy.core.n_frames + 4
+        seg = ast.activate(uid=1, n_pages=n)
+
+        def body(proc):
+            for page in range(n):
+                yield from pc.touch(proc, seg, page)
+
+        p = Process("f", body=body)
+        tc.add_process(p)
+        tc.run(max_events=500_000)
+        assert p.state is ProcessState.STOPPED
+        assert pc.fault_records
+        assert all(r.steps_in_faulter <= 1 for r in pc.fault_records)
+
+    def test_evictions_happen_in_freer_not_faulter(self, config):
+        sim, tc, hierarchy, ast, pc = build(config, PageControlKind.PARALLEL)
+        n = hierarchy.core.n_frames + 4
+        seg = ast.activate(uid=1, n_pages=n)
+
+        def body(proc):
+            for page in range(n):
+                yield from pc.touch(proc, seg, page)
+
+        p = Process("f", body=body)
+        tc.add_process(p)
+        tc.run(max_events=500_000)
+        assert pc.core_evictions > 0
+        # The freer did work on its own dedicated processor time.
+        assert pc.core_freer.cpu_cycles >= 0
+        assert pc.core_freer.state is ProcessState.BLOCKED  # parked, not dead
+
+    def test_free_frames_maintained_near_target(self, config):
+        sim, tc, hierarchy, ast, pc = build(config, PageControlKind.PARALLEL)
+        n = hierarchy.core.n_frames * 2
+        seg = ast.activate(uid=1, n_pages=n)
+
+        def body(proc):
+            for page in range(n):
+                yield from pc.touch(proc, seg, page)
+
+        tc.add_process(Process("f", body=body))
+        tc.run(max_events=500_000)
+        # After the storm settles the freer has restored the low-water mark.
+        assert hierarchy.core.free_count >= config.free_core_target
+
+    def test_many_concurrent_faulters(self, config):
+        config.n_processors = 2
+        sim, tc, hierarchy, ast, pc = build(config, PageControlKind.PARALLEL)
+        segs = [ast.activate(uid=i, n_pages=8) for i in range(4)]
+
+        def body(seg):
+            def gen(proc):
+                for page in range(seg.n_pages):
+                    yield from pc.touch(proc, seg, page)
+
+            return gen
+
+        procs = [Process(f"w{i}", body=body(s)) for i, s in enumerate(segs)]
+        for p in procs:
+            tc.add_process(p)
+        tc.run(max_events=1_000_000)
+        assert all(p.state is ProcessState.STOPPED for p in procs)
+        assert pc.faults_serviced >= sum(s.n_pages for s in segs) - 4

@@ -1,0 +1,107 @@
+"""Tests for replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm.replacement import (
+    Candidate,
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    make_policy,
+)
+
+
+def cand(slot, used=False, modified=False, loaded_at=0):
+    return Candidate(slot=slot, used=used, modified=modified, loaded_at=loaded_at)
+
+
+class TestFIFO:
+    def test_oldest_evicted(self):
+        policy = FIFOPolicy()
+        cands = [cand(0, loaded_at=10), cand(1, loaded_at=5), cand(2, loaded_at=20)]
+        assert policy.select(cands) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FIFOPolicy().select([])
+
+    def test_ignores_used_bit(self):
+        policy = FIFOPolicy()
+        cands = [cand(0, used=True, loaded_at=1), cand(1, used=False, loaded_at=2)]
+        assert policy.select(cands) == 0
+
+
+class TestClock:
+    def test_prefers_unused(self):
+        policy = ClockPolicy()
+        cands = [cand(0, used=True, loaded_at=1), cand(1, used=False, loaded_at=2)]
+        assert policy.select(cands) == 1
+
+    def test_oldest_unused_wins(self):
+        policy = ClockPolicy()
+        cands = [
+            cand(0, used=False, loaded_at=9),
+            cand(1, used=False, loaded_at=3),
+        ]
+        assert policy.select(cands) == 1
+
+    def test_all_used_falls_back_to_fifo(self):
+        policy = ClockPolicy()
+        cands = [cand(0, used=True, loaded_at=9), cand(1, used=True, loaded_at=3)]
+        assert policy.select(cands) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClockPolicy().select([])
+
+
+class TestLRU:
+    def test_untouched_page_evicted_before_touched(self):
+        policy = LRUPolicy()
+        # Round 1: both unused -> both recency 0; slot order by loaded_at.
+        cands = [cand(10, used=False, loaded_at=1), cand(20, used=False, loaded_at=2)]
+        assert policy.select(cands) == 0
+        # Round 2: slot 10 now used, slot 20 not: 20 is least recent.
+        cands = [cand(10, used=True, loaded_at=1), cand(20, used=False, loaded_at=2)]
+        assert policy.select(cands) == 1
+
+    def test_note_loaded_updates_recency(self):
+        policy = LRUPolicy()
+        policy.select([cand(1), cand(2)])
+        policy.note_loaded(1, time=100)
+        # Slot 1 was just loaded; slot 2 is older.
+        assert policy.select([cand(1), cand(2)]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy().select([])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["fifo", "clock", "lru"])
+    def test_known_policies(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.booleans(), st.integers(0, 1000)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_every_policy_returns_valid_index(raw):
+    """Property: all policies pick an in-range victim for any census."""
+    cands = [
+        cand(slot=i, used=u, modified=m, loaded_at=t)
+        for i, (u, m, t) in enumerate(raw)
+    ]
+    for name in ("fifo", "clock", "lru"):
+        index = make_policy(name).select(cands)
+        assert 0 <= index < len(cands)
