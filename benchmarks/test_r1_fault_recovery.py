@@ -1,0 +1,114 @@
+"""R1 — fault recovery: denial of use is the worst case.
+
+The paper's containment claim: an uncertified component's failure "can
+cause only denial of use, never unauthorized release or modification".
+This bench runs the standard workload under increasingly hostile fault
+plans and records what the recovery layer did with every injected
+fault — recovered, degraded, or fatal — plus the recovery latency in
+simulated ticks and the security ledger (any Eve access granted?).
+"""
+
+import statistics
+
+from repro.faults.harness import (
+    harness_config,
+    run_crash_recovery,
+    security_decisions,
+    standard_workload,
+)
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.system import MulticsSystem
+
+from conftest import fmt_row
+
+
+def hostile_plan(scale: float, seed: int = 17) -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultSpec("memory.core.read", "parity", rate=0.05 * scale),
+            FaultSpec("memory.transfer", "transfer_error", rate=0.1 * scale),
+            FaultSpec("device.*", "transfer_error", rate=0.1 * scale),
+            FaultSpec("device.*", "hang", rate=0.05 * scale),
+            FaultSpec("net.deliver", "duplicate", rate=0.15 * scale),
+            FaultSpec("net.deliver", "drop", rate=0.05 * scale),
+        ],
+        seed=seed,
+    )
+
+
+def run_under_fire(scale: float):
+    cfg = harness_config(
+        fault_plan=hostile_plan(scale) if scale > 0 else None
+    )
+    system = MulticsSystem(cfg).boot()
+    system.register_user("Alice", "Crypto", "alice-pw")
+    system.register_user("Eve", "Spies", "eve-pw")
+    result = standard_workload(system)
+    injector = system.services.injector
+    eve_grants = [
+        d for d in security_decisions(system.services.audit)
+        if d[0].startswith("Eve") and d[3] == "granted" and "Alice" in d[1]
+    ]
+    return {
+        "injected": injector.injected_count if injector else 0,
+        "recovered": injector.recovered if injector else 0,
+        "degraded": injector.degraded if injector else 0,
+        "fatal": injector.fatal if injector else 0,
+        "denied_use": result.denied_use,
+        "probes_denied": result.expected_denials,
+        "eve_grants": len(eve_grants),
+        "recovery_ticks": list(injector.recovery_ticks) if injector else [],
+        "elapsed": system.services.sim.clock.now,
+    }
+
+
+def test_r1_fault_recovery(benchmark, report):
+    scales = [0.0, 1.0, 2.0, 4.0]
+    runs = {scale: run_under_fire(scale) for scale in scales}
+
+    # The benchmark fixture times the moderately-hostile run.
+    benchmark(lambda: run_under_fire(1.0))
+
+    for scale, r in runs.items():
+        # Containment holds at every hostility level.
+        assert r["eve_grants"] == 0
+        assert r["probes_denied"] == 2
+        if scale > 0:
+            assert r["injected"] >= 1
+            # Every fault was handled by the recovery plane; none
+            # vanished silently (drop has no recovery by design).
+            assert r["recovered"] + r["degraded"] + r["fatal"] >= 1
+
+    # Crash-recovery latency: boot-time salvage under injection.
+    crash = run_crash_recovery(
+        config=harness_config(fault_plan=hostile_plan(1.0)), seed=17
+    )
+    assert crash.violations_after == []
+    assert crash.unauthorized == []
+
+    def ticks(r):
+        if not r["recovery_ticks"]:
+            return "-"
+        return f"{statistics.mean(r['recovery_ticks']):.0f}"
+
+    lines = [
+        "R1 fault recovery (denial of use is the worst case)",
+        fmt_row("fault-plan hostility (rate scale)", *scales),
+        fmt_row("faults injected", *[runs[s]["injected"] for s in scales]),
+        fmt_row("recovered (retry/watchdog/dedup)",
+                *[runs[s]["recovered"] for s in scales]),
+        fmt_row("degraded (equipment retired)",
+                *[runs[s]["degraded"] for s in scales]),
+        fmt_row("fatal (denial of use)", *[runs[s]["fatal"] for s in scales]),
+        fmt_row("workload ops denied use",
+                *[runs[s]["denied_use"] for s in scales]),
+        fmt_row("mean recovery latency (ticks)",
+                *[ticks(runs[s]) for s in scales]),
+        fmt_row("Eve probes denied (of 2)",
+                *[runs[s]["probes_denied"] for s in scales]),
+        fmt_row("unauthorized accesses", *[runs[s]["eve_grants"] for s in scales]),
+        fmt_row("crash+salvage: damage handled",
+                crash.salvage_report.damage_found),
+        fmt_row("crash+salvage: violations after", len(crash.violations_after)),
+    ]
+    report("R1", lines)

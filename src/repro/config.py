@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 
 class RingMode(enum.Enum):
@@ -145,6 +149,21 @@ class SystemConfig:
     #: penetration benches.
     clear_freed_frames: bool = True
 
+    #: Optional deterministic fault-injection plan (repro.faults.plan).
+    #: None means the hardware never fails — the seed behaviour.
+    fault_plan: "FaultPlan | None" = None
+    #: Bounded-retry budget for device and page I/O recovery.
+    max_io_retries: int = 3
+    #: Base backoff, in simulated cycles, between I/O retries (doubles
+    #: per attempt; no wall-clock sleeps anywhere).
+    retry_backoff_base: int = 32
+    #: Device-completion watchdog timeout, as a multiple of the device
+    #: latency (catches hangs and lost completion interrupts).
+    device_timeout_factor: int = 8
+    #: Injected-fault count at which a page frame is retired from
+    #: service when next freed (graceful degradation).
+    frame_retire_threshold: int = 3
+
     costs: CostModel = field(default_factory=CostModel)
 
     def cross_ring_penalty(self) -> int:
@@ -169,3 +188,11 @@ class SystemConfig:
             raise ValueError("need at least one virtual processor per CPU")
         if self.quantum <= 0:
             raise ValueError("quantum must be positive")
+        if self.max_io_retries < 0:
+            raise ValueError("max_io_retries cannot be negative")
+        if self.retry_backoff_base <= 0:
+            raise ValueError("retry_backoff_base must be positive")
+        if self.device_timeout_factor <= 1:
+            raise ValueError("device_timeout_factor must exceed 1")
+        if self.frame_retire_threshold <= 0:
+            raise ValueError("frame_retire_threshold must be positive")

@@ -89,6 +89,60 @@ class IllegalInstruction(HardwareFault):
 
 
 # ---------------------------------------------------------------------------
+# Injected hardware failures and the recovery plane (repro.faults)
+# ---------------------------------------------------------------------------
+
+class TransientFault(HardwareFault):
+    """A recoverable hardware failure (injected by a fault plan).
+
+    The kernel's recovery layer retries these with bounded backoff in
+    simulated time; a transient fault that survives every retry is
+    promoted to :class:`DeviceError`.  Like all hardware faults these
+    are *events*: containment requires that they can cause only denial
+    of use, never an unaudited security decision.
+    """
+
+    mnemonic = "transient"
+
+    def __init__(self, site: str, message: str = ""):
+        self.site = site
+        super().__init__(message or f"transient fault at {site}")
+
+
+class ParityError(TransientFault):
+    """A parity hit on a frame read at some memory level."""
+
+    mnemonic = "parity"
+
+    def __init__(self, level: str, frame: int, offset: int | None = None):
+        self.level = level
+        self.frame = frame
+        self.offset = offset
+        where = f"{level} frame {frame}"
+        if offset is not None:
+            where += f" offset {offset}"
+        super().__init__(f"memory.{level}.read", f"parity error reading {where}")
+
+
+class DeviceError(HardwareFault):
+    """A device or transfer path failed for good.
+
+    Raised when bounded retries are exhausted or when an operation is
+    attempted on equipment already marked out of service; the caller
+    sees denial of use, nothing more.
+    """
+
+    mnemonic = "device"
+
+
+class SalvageNeeded(HardwareFault):
+    """The hierarchy (or its shutdown marker) shows crash damage; the
+    salvager must run before the entry can be trusted."""
+
+    mnemonic = "salvage"
+
+
+# ---------------------------------------------------------------------------
 # Kernel software denials
 # ---------------------------------------------------------------------------
 

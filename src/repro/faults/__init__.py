@@ -1,0 +1,53 @@
+"""The fault plane: deterministic injection plus kernel recovery.
+
+The paper's central robustness claim is containment-by-construction: a
+failing or malicious un-certified component "can cause only denial of
+use, never unauthorized release or modification".  This package turns
+hardware failure into a first-class *simulated event* so that claim can
+be asserted under fire, not just on the happy path:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a seedable,
+  probability- or schedule-driven description of which injection sites
+  fail and how; deterministic given its seed.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: the runtime
+  object the hardware models consult; every injected fault and every
+  recovery action lands in the security audit log.
+* :mod:`repro.faults.recovery` — :class:`RetryPolicy` and the bounded
+  retry helper the kernel layers share (backoff in simulated cycles,
+  never wall-clock sleeps).
+* :mod:`repro.faults.salvager` — the hierarchy salvager: runs at boot
+  when the ``salvager_data`` marker shows an unclean shutdown, walks
+  the directory tree, reconciles the AST/KST, and quarantines damaged
+  entries instead of crashing.
+* :mod:`repro.faults.harness` — the crash-recovery harness: kills a
+  system mid-workload, reboots from the same backing store, salvages,
+  and checks that no ACL/MAC decision changed under any injected fault.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.recovery import RetryPolicy, retry_call
+from repro.faults.salvager import (
+    MAGIC_CLEAN,
+    MAGIC_RUNNING,
+    HierarchySalvager,
+    SalvageReport,
+    mark_clean,
+    mark_running,
+    read_marker,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
+    "retry_call",
+    "HierarchySalvager",
+    "SalvageReport",
+    "MAGIC_CLEAN",
+    "MAGIC_RUNNING",
+    "mark_clean",
+    "mark_running",
+    "read_marker",
+]

@@ -1,0 +1,107 @@
+"""The runtime fault injector: plan consultation plus audit.
+
+Hardware models hold an optional :class:`FaultInjector` and ask it one
+question — :meth:`check` — at each injection point.  The injector is
+also the recovery layer's notebook: every retry, degradation, and
+fatality is recorded here *and* in the security audit log, so a single
+log replays the whole failure story.  Audit outcomes used:
+
+* ``injected`` — the plan made an operation fail;
+* ``recovered`` — a retry or watchdog redelivery absorbed a fault;
+* ``degraded`` — equipment was taken out of service, system running;
+* ``fatal`` — bounded retries exhausted; the caller saw denial of use.
+
+None of these outcomes overlaps ``granted``/``denied``, so security
+queries over the audit log are unaffected by injection noise — which
+is itself part of the containment argument.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+    from repro.hw.clock import Clock
+    from repro.security.audit import AuditLog
+
+#: Audit subject for injections (the failing hardware itself).
+HARDWARE_SUBJECT = "hardware.fault_plan"
+#: Audit subject for recovery actions (the kernel's recovery layer).
+RECOVERY_SUBJECT = "kernel.recovery"
+
+
+class FaultInjector:
+    """Consults a :class:`FaultPlan` and books every fault and fix."""
+
+    def __init__(
+        self,
+        plan: "FaultPlan",
+        audit: "AuditLog | None" = None,
+        clock: "Clock | None" = None,
+    ) -> None:
+        self.plan = plan
+        self.audit = audit
+        self.clock = clock
+        #: (time, site, kind) of every injected fault, in order.
+        self.injected: list[tuple[int, str, str]] = []
+        self.per_site: Counter[str] = Counter()
+        self.recovered = 0
+        self.degraded = 0
+        self.fatal = 0
+        #: Simulated ticks each recovery action took (bench material).
+        self.recovery_ticks: list[int] = []
+
+    # -- the hardware-facing question ----------------------------------
+
+    def check(self, site: str, detail: str = "") -> str | None:
+        """Should the current operation at ``site`` fail, and how?"""
+        kind = self.plan.decide(site)
+        if kind is None:
+            return None
+        now = self._now()
+        self.injected.append((now, site, kind))
+        self.per_site[site] += 1
+        self._log(HARDWARE_SUBJECT, site, f"inject:{kind}", "injected", detail)
+        return kind
+
+    # -- the recovery layer's notebook ---------------------------------
+
+    def note_recovered(self, site: str, action: str, ticks: int = 0,
+                       detail: str = "") -> None:
+        self.recovered += 1
+        self.recovery_ticks.append(ticks)
+        self._log(RECOVERY_SUBJECT, site, action, "recovered", detail)
+
+    def note_degraded(self, site: str, detail: str = "") -> None:
+        self.degraded += 1
+        self._log(RECOVERY_SUBJECT, site, "out_of_service", "degraded", detail)
+
+    def note_fatal(self, site: str, detail: str = "") -> None:
+        self.fatal += 1
+        self._log(RECOVERY_SUBJECT, site, "retries_exhausted", "fatal", detail)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def injected_count(self) -> int:
+        return len(self.injected)
+
+    def unresolved(self) -> int:
+        """Injected faults not yet matched by a recovery-plane action.
+
+        Zero after a quiesced run means every fault was retried,
+        degraded, or went fatal — nothing vanished silently.
+        """
+        return self.injected_count - (self.recovered + self.degraded + self.fatal)
+
+    # -- internals ------------------------------------------------------
+
+    def _now(self) -> int:
+        return self.clock.now if self.clock is not None else 0
+
+    def _log(self, subject: str, site: str, action: str, outcome: str,
+             detail: str) -> None:
+        if self.audit is not None:
+            self.audit.log(self._now(), subject, site, action, outcome, detail)

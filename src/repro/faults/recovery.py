@@ -1,0 +1,76 @@
+"""Bounded retry with backoff in simulated time.
+
+One policy object shared by every recovery site (kernel word reads,
+page transfers, device completions).  Backoff is measured in cycles of
+the simulated clock: synchronous paths *charge* the cycles, DES paths
+*wait* them out via the simulator — there is no wall-clock sleeping
+anywhere in the fault plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+from repro.errors import DeviceError, TransientFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import SystemConfig
+    from repro.faults.injector import FaultInjector
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the kernel tries before giving up on an I/O path."""
+
+    max_retries: int = 3
+    backoff_base: int = 32
+
+    @classmethod
+    def from_config(cls, config: "SystemConfig") -> "RetryPolicy":
+        return cls(
+            max_retries=config.max_io_retries,
+            backoff_base=config.retry_backoff_base,
+        )
+
+    def backoff(self, attempt: int) -> int:
+        """Cycles to back off before retry number ``attempt`` (1-based)."""
+        if attempt <= 0:
+            raise ValueError("attempts are 1-based")
+        return self.backoff_base << (attempt - 1)
+
+
+def retry_call(
+    thunk: Callable[[], T],
+    policy: RetryPolicy,
+    injector: "FaultInjector | None",
+    site: str,
+) -> tuple[T, int]:
+    """Run ``thunk``, retrying transient faults up to the policy budget.
+
+    Returns ``(result, backoff_cycles_spent)`` so the caller can charge
+    the waiting to simulated time.  Exhausting the budget promotes the
+    transient fault to :class:`DeviceError` (denial of use) after a
+    ``fatal`` audit record.
+    """
+    attempt = 0
+    spent = 0
+    while True:
+        try:
+            return thunk(), spent
+        except TransientFault as fault:
+            attempt += 1
+            if attempt > policy.max_retries:
+                if injector is not None:
+                    injector.note_fatal(site, str(fault))
+                raise DeviceError(
+                    f"{site}: failed after {policy.max_retries} retries: {fault}"
+                ) from fault
+            backoff = policy.backoff(attempt)
+            spent += backoff
+            if injector is not None:
+                injector.note_recovered(
+                    site, f"retry {attempt}", ticks=backoff, detail=str(fault)
+                )

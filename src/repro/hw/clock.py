@@ -77,6 +77,17 @@ class Simulator:
         """Number of events not yet executed."""
         return len(self._queue)
 
+    def clear_pending(self) -> int:
+        """Drop every unexecuted event; returns how many were dropped.
+
+        Models a crash/power failure: in-flight device completions and
+        scheduled wakeups simply never happen.  The clock itself is not
+        reset — simulated time survives a reboot.
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
     @property
     def events_run(self) -> int:
         """Total events executed so far (for sanity limits in tests)."""

@@ -14,9 +14,13 @@ experiments (E11) exploit exactly this when clearing is disabled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.config import SystemConfig
-from repro.errors import ReproError
+from repro.errors import ParityError, ReproError, TransientFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 
 class OutOfFrames(ReproError):
@@ -49,6 +53,8 @@ class MemoryLevel:
         transfer_cost: int,
         page_size: int,
         clear_on_free: bool = True,
+        injector: "FaultInjector | None" = None,
+        retire_threshold: int | None = None,
     ) -> None:
         if n_frames <= 0:
             raise ValueError("a memory level needs at least one frame")
@@ -56,9 +62,17 @@ class MemoryLevel:
         self.page_size = page_size
         self.transfer_cost = transfer_cost
         self.clear_on_free = clear_on_free
+        self.injector = injector
+        #: Parity hits at which a frame is retired when next freed
+        #: (graceful degradation); None disables retirement.
+        self.retire_threshold = retire_threshold
         self._frames = [Frame(i, [0] * page_size) for i in range(n_frames)]
         self._free: list[int] = list(range(n_frames - 1, -1, -1))
         self._allocated: set[int] = set()
+        #: Injected parity hits per frame (drives retirement).
+        self.fault_counts: dict[int, int] = {}
+        #: Frames permanently removed from the free pool.
+        self.retired: set[int] = set()
         # Counters for the benches.
         self.allocations = 0
         self.frees = 0
@@ -89,13 +103,29 @@ class MemoryLevel:
         return idx
 
     def free(self, idx: int) -> None:
-        """Return a frame to the free pool, clearing it if configured."""
+        """Return a frame to the free pool, clearing it if configured.
+
+        A frame that has accumulated ``retire_threshold`` parity hits is
+        retired instead of being reused — degraded capacity, but no
+        future reads through known-bad storage.
+        """
         if idx not in self._allocated:
             raise ValueError(f"{self.name}: frame {idx} is not allocated")
         self._allocated.remove(idx)
         if self.clear_on_free:
             self._frames[idx].clear(self.page_size)
-        self._free.append(idx)
+        if (
+            self.retire_threshold is not None
+            and self.fault_counts.get(idx, 0) >= self.retire_threshold
+        ):
+            self.retired.add(idx)
+            if self.injector is not None:
+                self.injector.note_degraded(
+                    f"memory.{self.name}.frame.{idx}",
+                    f"{self.fault_counts[idx]} parity hits; frame retired",
+                )
+        else:
+            self._free.append(idx)
         self.frees += 1
 
     def is_allocated(self, idx: int) -> bool:
@@ -106,9 +136,20 @@ class MemoryLevel:
     def frame(self, idx: int) -> Frame:
         return self._frames[idx]
 
+    def _maybe_parity(self, idx: int, offset: int | None = None) -> None:
+        if self.injector is None:
+            return
+        kind = self.injector.check(
+            f"memory.{self.name}.read", detail=f"frame {idx}"
+        )
+        if kind == "parity":
+            self.fault_counts[idx] = self.fault_counts.get(idx, 0) + 1
+            raise ParityError(self.name, idx, offset)
+
     def read(self, idx: int, offset: int) -> int:
         """Read one word from an allocated frame."""
         self._check(idx, offset)
+        self._maybe_parity(idx, offset)
         return self._frames[idx].data[offset]
 
     def write(self, idx: int, offset: int, value: int) -> None:
@@ -120,6 +161,7 @@ class MemoryLevel:
         """Copy out the whole frame (used for page transfers)."""
         if idx not in self._allocated:
             raise ValueError(f"{self.name}: frame {idx} is not allocated")
+        self._maybe_parity(idx)
         return list(self._frames[idx].data)
 
     def write_page(self, idx: int, data: list[int]) -> None:
@@ -145,21 +187,30 @@ class MemoryHierarchy:
     has no notion of waiting).
     """
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
         costs = config.costs
         clear = config.clear_freed_frames
         self.page_size = config.page_size
+        self.injector = injector
+        retire = config.frame_retire_threshold if injector is not None else None
         self.core = MemoryLevel(
             "core", config.core_frames, costs.core_access,
             config.page_size, clear_on_free=clear,
+            injector=injector, retire_threshold=retire,
         )
         self.bulk = MemoryLevel(
             "bulk", config.bulk_frames, costs.bulk_transfer,
             config.page_size, clear_on_free=clear,
+            injector=injector, retire_threshold=retire,
         )
         self.disk = MemoryLevel(
             "disk", config.disk_frames, costs.disk_transfer,
             config.page_size, clear_on_free=clear,
+            injector=injector, retire_threshold=retire,
         )
         #: (from_level, to_level) -> count, for the page-control benches.
         self.transfer_counts: dict[tuple[str, str], int] = {}
@@ -180,8 +231,21 @@ class MemoryHierarchy:
         :class:`OutOfFrames` if ``dst`` is full — callers (page control)
         must make room first.
         """
+        if self.injector is not None:
+            kind = self.injector.check(
+                "memory.transfer",
+                detail=f"{src.name}[{src_idx}] -> {dst.name}",
+            )
+            if kind == "transfer_error":
+                raise TransientFault(
+                    "memory.transfer",
+                    f"page move {src.name}[{src_idx}] -> {dst.name} failed",
+                )
+        # Read before allocating so a parity hit leaks nothing; the
+        # source frame is freed only after the copy has landed.
+        data = src.read_page(src_idx)
         dst_idx = dst.allocate()
-        dst.write_page(dst_idx, src.read_page(src_idx))
+        dst.write_page(dst_idx, data)
         src.free(src_idx)
         key = (src.name, dst.name)
         self.transfer_counts[key] = self.transfer_counts.get(key, 0) + 1

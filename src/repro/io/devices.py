@@ -10,14 +10,27 @@ replace with the single network attachment.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
-from repro.errors import InvalidArgument
+from repro.errors import DeviceError, InvalidArgument
 from repro.hw.clock import Simulator
 from repro.hw.interrupts import InterruptController
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+
 
 class Device:
-    """Base device: attach discipline + completion interrupts."""
+    """Base device: attach discipline + completion interrupts.
+
+    Completions travel as *tokens* through a small recovery machine:
+    a transfer error reschedules the completion with doubling backoff
+    (bounded by ``max_retries``, after which the device is taken out of
+    service and waiters see a ``device_error`` payload instead of a
+    hang); a hang or lost completion interrupt is caught by a watchdog
+    armed at ``latency * timeout_factor`` that redelivers the token.
+    All timing is simulated-clock cycles — nothing sleeps.
+    """
 
     device_class = "device"
 
@@ -28,16 +41,37 @@ class Device:
         interrupts: InterruptController,
         line: int,
         latency: int = 50,
+        injector: "FaultInjector | None" = None,
+        max_retries: int = 3,
+        backoff_base: int = 32,
+        timeout_factor: int = 8,
     ) -> None:
         self.name = name
         self.sim = sim
         self.interrupts = interrupts
         self.line = line
         self.latency = latency
+        self.injector = injector
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.timeout_factor = timeout_factor
         self.attached_by: int | None = None  # pid
         self.operations = 0
+        #: Permanently failed; attach refuses, completions stop.
+        self.out_of_service = False
+        self.failures = 0
+        self.recoveries = 0
+        self.cancelled_completions = 0
+        #: Undelivered completion tokens (see _complete).
+        self._pending: list[dict] = []
+
+    @property
+    def site(self) -> str:
+        return f"device.{self.name}"
 
     def attach(self, pid: int) -> None:
+        if self.out_of_service:
+            raise DeviceError(f"{self.name} is out of service")
         if self.attached_by is not None and self.attached_by != pid:
             raise InvalidArgument(
                 f"{self.name} is attached by process {self.attached_by}"
@@ -48,6 +82,11 @@ class Device:
         if self.attached_by != pid:
             raise InvalidArgument(f"{self.name} is not attached by {pid}")
         self.attached_by = None
+        # Completions the detaching process was waiting for must not
+        # fire later into whatever process attaches next.
+        for token in self._pending:
+            if token["pid"] == pid:
+                token["cancelled"] = True
 
     def _require_attached(self, pid: int) -> None:
         if self.attached_by != pid:
@@ -55,13 +94,113 @@ class Device:
                 f"{self.name}: process {pid} has not attached the device"
             )
 
+    # -- the completion machine ------------------------------------------
+
     def _complete(self, payload: object = None) -> None:
-        """Schedule the completion interrupt."""
+        """Start one completion: an interrupt after ``latency`` cycles,
+        unless the fault plan says otherwise."""
         self.operations += 1
-        self.sim.schedule(
-            self.latency,
-            lambda: self.interrupts.raise_line(self.line, payload),
+        token = {
+            "payload": payload,
+            "pid": self.attached_by,
+            "delivered": False,
+            "cancelled": False,
+            "attempt": 0,
+        }
+        self._pending.append(token)
+        self._start_completion(token)
+
+    def _start_completion(self, token: dict) -> None:
+        if token["cancelled"]:
+            self._finish(token, cancelled=True)
+            return
+        if self.out_of_service:
+            # Waiters on a dead device get a denial, not silence.
+            token["payload"] = ("device_error", self.name)
+            self.sim.schedule(self.latency, lambda: self._deliver(token))
+            return
+        kind = (
+            self.injector.check(self.site, detail=str(token["payload"]))
+            if self.injector is not None
+            else None
         )
+        if kind is None:
+            self.sim.schedule(self.latency, lambda: self._deliver(token))
+        elif kind == "transfer_error":
+            self._retry_or_degrade(token)
+        elif kind in ("hang", "lost_interrupt"):
+            # The transfer stalls (hang) or finishes silently (lost
+            # completion interrupt); only the watchdog saves the waiter.
+            self.failures += 1
+            timeout = self.latency * self.timeout_factor
+            self.sim.schedule(timeout, lambda: self._watchdog(token, kind))
+        else:  # an unknown kind is a plan bug; fail loudly
+            raise DeviceError(f"{self.name}: unknown fault kind {kind!r}")
+
+    def _retry_or_degrade(self, token: dict) -> None:
+        self.failures += 1
+        token["attempt"] += 1
+        attempt = token["attempt"]
+        if attempt > self.max_retries:
+            if self.injector is not None:
+                self.injector.note_fatal(
+                    self.site, f"{self.max_retries} retries exhausted"
+                )
+                self.injector.note_degraded(
+                    self.site, "device taken out of service"
+                )
+            self.out_of_service = True
+            # Wake the waiter with a denial of use, not a hang.
+            token["payload"] = ("device_error", self.name)
+            self.sim.schedule(self.latency, lambda: self._deliver(token))
+            return
+        backoff = self.backoff_base << (attempt - 1)
+        if self.injector is not None:
+            self.injector.note_recovered(
+                self.site, f"retry {attempt}", ticks=backoff
+            )
+        self.sim.schedule(
+            self.latency + backoff, lambda: self._start_completion(token)
+        )
+
+    def _watchdog(self, token: dict, kind: str) -> None:
+        if token["delivered"] or token["cancelled"]:
+            return
+        if self.injector is not None:
+            self.injector.note_recovered(
+                self.site,
+                f"watchdog_redeliver:{kind}",
+                ticks=self.latency * (self.timeout_factor - 1),
+            )
+        self.recoveries += 1
+        self._deliver(token)
+
+    def _deliver(self, token: dict) -> None:
+        if token["cancelled"]:
+            self._finish(token, cancelled=True)
+            return
+        if token["delivered"]:
+            return
+        token["delivered"] = True
+        self._finish(token)
+        self.interrupts.raise_line(self.line, token["payload"])
+
+    def _finish(self, token: dict, cancelled: bool = False) -> None:
+        if cancelled:
+            self.cancelled_completions += 1
+        try:
+            self._pending.remove(token)
+        except ValueError:
+            pass
+
+    def power_fail(self) -> None:
+        """Crash semantics: the attachment and every in-flight
+        completion vanish (their simulator events are dropped by the
+        crash itself)."""
+        self.attached_by = None
+        for token in self._pending:
+            token["cancelled"] = True
+        self._pending.clear()
 
 
 class Terminal(Device):

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.hw.clock import Simulator
 from repro.hw.interrupts import InterruptController
 from repro.io.buffers import CircularBuffer, InfiniteVMBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -42,15 +46,22 @@ class NetworkAttachment:
         line: int,
         buffer: CircularBuffer | InfiniteVMBuffer,
         latency: int = 20,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.sim = sim
         self.interrupts = interrupts
         self.line = line
         self.buffer = buffer
         self.latency = latency
+        self.injector = injector
         self._seq = 0
         self.sent: list[Message] = []
         self.received_count = 0
+        #: Fault-plane counters.
+        self.dropped = 0
+        self.duplicated = 0
+        self.duplicates_suppressed = 0
+        self._seen_seqs: set[int] = set()
 
     # -- inbound ------------------------------------------------------------
 
@@ -58,18 +69,50 @@ class NetworkAttachment:
         """A message arrives from the network (device side)."""
         self._seq += 1
         message = Message(self._seq, host, body)
-        self.buffer.put(message)
-        self.received_count += 1
-        self.sim.schedule(
-            self.latency,
-            lambda: self.interrupts.raise_line(self.line, ("net_input", None)),
+        kind = (
+            self.injector.check("net.deliver", detail=f"seq {message.seq}")
+            if self.injector is not None
+            else None
         )
+        if kind == "drop":
+            # Lost on the wire: never buffered, no interrupt.  Pure
+            # denial of use; the sender's retransmission (outside this
+            # model) is the recovery.
+            self.dropped += 1
+            return message
+        copies = 2 if kind == "duplicate" else 1
+        if kind == "duplicate":
+            self.duplicated += 1
+        for _ in range(copies):
+            self.buffer.put(message)
+            self.received_count += 1
+            self.sim.schedule(
+                self.latency,
+                lambda: self.interrupts.raise_line(
+                    self.line, ("net_input", None)
+                ),
+            )
         return message
 
     def receive(self) -> Message | None:
-        """The kernel reads the next buffered message."""
-        message = self.buffer.get()
-        return message  # type: ignore[return-value]
+        """The kernel reads the next buffered message, suppressing
+        duplicate sequence numbers (the recovery for ``duplicate``
+        injection)."""
+        while True:
+            message = self.buffer.get()
+            if message is None:
+                return None
+            if message.seq in self._seen_seqs:
+                self.duplicates_suppressed += 1
+                if self.injector is not None:
+                    self.injector.note_recovered(
+                        "net.deliver",
+                        "duplicate_suppressed",
+                        detail=f"seq {message.seq}",
+                    )
+                continue
+            self._seen_seqs.add(message.seq)
+            return message  # type: ignore[return-value]
 
     # -- outbound -----------------------------------------------------------
 

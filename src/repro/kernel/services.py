@@ -16,6 +16,8 @@ from typing import TYPE_CHECKING
 
 from repro.config import SupervisorKind, SystemConfig
 from repro.errors import NoSuchEntry
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RetryPolicy, retry_call
 from repro.fs.acl import Acl
 from repro.fs.directory import Branch, DirectoryTree
 from repro.fs.kst import KnownSegmentTable
@@ -75,10 +77,24 @@ class KernelServices:
         self.config = config
         self.sim = Simulator()
         self.scheduler = TrafficController(self.sim, config)
-        self.hierarchy = MemoryHierarchy(config)
+        self.audit = AuditLog()
+        # The fault plane: built before the hardware so every model can
+        # consult one injector.  A fresh fork keeps this system's
+        # injection history independent of any other system built from
+        # the same config.
+        self.injector = (
+            FaultInjector(
+                config.fault_plan.fork(),
+                audit=self.audit,
+                clock=self.sim.clock,
+            )
+            if config.fault_plan is not None
+            else None
+        )
+        self.retry_policy = RetryPolicy.from_config(config)
+        self.hierarchy = MemoryHierarchy(config, injector=self.injector)
         self.ast = ActiveSegmentTable(self.hierarchy)
         self.interrupts = InterruptController(self.sim.clock)
-        self.audit = AuditLog()
         self.monitor = ReferenceMonitor(self.audit)
         self.page_control: PageControl = make_page_control(
             config.page_control,
@@ -120,12 +136,18 @@ class KernelServices:
         from repro.io.network import NetworkAttachment
 
         sim, ic = self.sim, self.interrupts
+        recovery = dict(
+            injector=self.injector,
+            max_retries=self.config.max_io_retries,
+            backoff_base=self.config.retry_backoff_base,
+            timeout_factor=self.config.device_timeout_factor,
+        )
         self.devices = {
-            "tty1": Terminal("tty1", sim, ic, line=1),
-            "tape1": TapeDrive("tape1", sim, ic, line=2),
-            "rdr1": CardReader("rdr1", sim, ic, line=3),
-            "pun1": CardPunch("pun1", sim, ic, line=4),
-            "prt1": LinePrinter("prt1", sim, ic, line=5),
+            "tty1": Terminal("tty1", sim, ic, line=1, **recovery),
+            "tape1": TapeDrive("tape1", sim, ic, line=2, **recovery),
+            "rdr1": CardReader("rdr1", sim, ic, line=3, **recovery),
+            "pun1": CardPunch("pun1", sim, ic, line=4, **recovery),
+            "prt1": LinePrinter("prt1", sim, ic, line=5, **recovery),
         }
         if self.config.buffers is BufferKind.CIRCULAR:
             buffer = CircularBuffer(self.config.net_buffer_capacity)
@@ -133,7 +155,9 @@ class KernelServices:
             buffer = InfiniteVMBuffer(
                 messages_per_page=max(self.config.page_size // 4, 1)
             )
-        self.network = NetworkAttachment(sim, ic, line=6, buffer=buffer)
+        self.network = NetworkAttachment(
+            sim, ic, line=6, buffer=buffer, injector=self.injector
+        )
 
     # -- users ---------------------------------------------------------------
 
@@ -194,7 +218,21 @@ class KernelServices:
             except MissingPageFault as fault:
                 uid = process.dseg.get(segno).uid
                 self.page_control.service_sync(self.ast.get(uid), fault.pageno)
-        return self.hierarchy.core.read(frame, woff)
+        return self._read_core_retrying(frame, woff)
+
+    def _read_core_retrying(self, frame: int, woff: int) -> int:
+        """One core read with bounded retry on injected parity errors.
+
+        Exhausting the retry budget surfaces :class:`DeviceError` —
+        denial of use for the caller, never silent wrong data.
+        """
+        value, _ = retry_call(
+            lambda: self.hierarchy.core.read(frame, woff),
+            self.retry_policy,
+            self.injector,
+            "kernel.read_word",
+        )
+        return value
 
     def write_word(
         self, process: "Process", segno: int, offset: int, value: int

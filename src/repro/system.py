@@ -24,6 +24,12 @@ from repro.config import (
     USER_RING,
 )
 from repro.errors import KernelDenial
+from repro.faults.salvager import (
+    HierarchySalvager,
+    SalvageReport,
+    mark_clean,
+    mark_running,
+)
 from repro.fs.directory import SEP
 from repro.hw.cpu import CPU
 from repro.init.bootstrap import BootstrapInitializer
@@ -48,10 +54,30 @@ from repro.user.search_rules import UserSearchRules
 class MulticsSystem:
     """A complete system instance."""
 
-    def __init__(self, config: SystemConfig | None = None) -> None:
-        self.config = config or SystemConfig()
-        self.config.validate()
-        self.services = KernelServices(self.config)
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        services: KernelServices | None = None,
+    ) -> None:
+        """Build a system, optionally over *existing* kernel services.
+
+        Passing ``services`` models rebooting a machine from the same
+        backing store: the memory hierarchy, file system, and audit log
+        survive; supervisor and dispatch structures are rebuilt.  The
+        crash-recovery harness uses this to reboot after a simulated
+        crash and let the salvager repair what it finds.
+        """
+        if services is not None:
+            if config is not None and config is not services.config:
+                raise ValueError(
+                    "pass either a config or existing services, not both"
+                )
+            self.config = services.config
+            self.services = services
+        else:
+            self.config = config or SystemConfig()
+            self.config.validate()
+            self.services = KernelServices(self.config)
         if self.config.supervisor is SupervisorKind.LEGACY:
             self.supervisor = LegacySupervisor(self.services)
         else:
@@ -64,6 +90,7 @@ class MulticsSystem:
         self.boot_privileged_steps = 0
         self.image = None
         self.listener: LoginListener | None = None
+        self.salvage_report: SalvageReport | None = None
         self._booted = False
 
     # -- construction details --------------------------------------------------
@@ -92,9 +119,20 @@ class MulticsSystem:
     # -- boot ----------------------------------------------------------------------
 
     def boot(self) -> "MulticsSystem":
-        """Initialize per the configured strategy; idempotent."""
+        """Initialize per the configured strategy; idempotent.
+
+        When the ``salvager_data`` marker shows the previous session
+        never shut down cleanly, the hierarchy salvager runs *before*
+        initialization — a privileged boot step — so the strategy's
+        manifest finds a consistent tree.
+        """
         if self._booted:
             return self
+        salvager = HierarchySalvager(self.services)
+        salvage_steps = 0
+        if salvager.needed():
+            self.salvage_report = salvager.salvage()
+            salvage_steps = 1
         if self.config.init is InitKind.BOOTSTRAP:
             initializer = BootstrapInitializer()
             initializer.boot(self.services)
@@ -106,14 +144,33 @@ class MulticsSystem:
             self.boot_privileged_steps = boot_from_image(
                 self.services, self.image
             )
+        self.boot_privileged_steps += salvage_steps
         if self.config.supervisor is SupervisorKind.SECURITY_KERNEL:
             # The user-ring login listener, running as a daemon.
             listener_proc = Process(
                 "login_listener", ring=USER_RING, principal=KERNEL_PRINCIPAL
             )
             self.listener = LoginListener(self.supervisor, listener_proc)
+        # From here on, anything but shutdown() is an unclean end.
+        mark_running(self.services)
         self._booted = True
         return self
+
+    def shutdown(self) -> None:
+        """Orderly shutdown: write the clean marker so the next boot
+        skips the salvager.  The system object can boot() again."""
+        if not self._booted:
+            return
+        mark_clean(self.services)
+        self.services.audit.log(
+            self.services.sim.clock.now,
+            str(KERNEL_PRINCIPAL),
+            "system",
+            "shutdown",
+            "granted",
+            "clean shutdown marker written",
+        )
+        self._booted = False
 
     # -- user management -----------------------------------------------------------
 

@@ -28,6 +28,8 @@ import itertools
 from dataclasses import dataclass
 
 from repro.config import PageControlKind, SystemConfig
+from repro.errors import DeviceError
+from repro.faults.recovery import RetryPolicy, retry_call
 from repro.hw.clock import Simulator
 from repro.hw.memory import MemoryHierarchy, OutOfFrames
 from repro.proc.ipc import Block, Charge, Now, Wakeup
@@ -86,15 +88,32 @@ class PageControl:
         #: FIFO census of pages on the bulk store.
         self._bulk_pages: list[tuple[ActiveSegment, int]] = []
         self._io_seq = itertools.count()
+        # Fault plane: injector rides on the hierarchy; retry budget
+        # comes from the config.
+        self.injector = getattr(hierarchy, "injector", None)
+        self.retry_policy = RetryPolicy.from_config(config)
         # Metrics.
         self.faults_serviced = 0
         self.core_evictions = 0
         self.bulk_evictions = 0
+        self.transfer_retries = 0
         self.fault_records: list[FaultRecord] = []
 
     # ------------------------------------------------------------------
     # data movement primitives (no simulated waiting here)
     # ------------------------------------------------------------------
+
+    def _retry(self, site: str, thunk):
+        """Run a transfer with the bounded-retry policy.
+
+        Returns ``(result, backoff_cycles)``; the backoff is folded into
+        the cost the caller charges to simulated time, so recovery slows
+        the workload down instead of sleeping the host.
+        """
+        result, spent = retry_call(thunk, self.retry_policy, self.injector, site)
+        if spent:
+            self.transfer_retries += 1
+        return result, spent
 
     def _page_in_move(self, aseg: ActiveSegment, pageno: int) -> int:
         """Move a page from its home into a free core frame.
@@ -106,7 +125,10 @@ class PageControl:
         if home is None:
             return 0  # already in core (another faulter won the race)
         src = self.hierarchy.level(home.level)
-        dst_frame = self.hierarchy.transfer(src, home.frame, self.hierarchy.core)
+        dst_frame, backoff = self._retry(
+            "pc.page_in",
+            lambda: self.hierarchy.transfer(src, home.frame, self.hierarchy.core),
+        )
         aseg.homes[pageno] = None
         aseg.ptws[pageno].place(dst_frame)
         if home.level == "bulk":
@@ -115,21 +137,27 @@ class PageControl:
             aseg, pageno, self.sim.clock.now
         )
         self.policy.note_loaded(hash((aseg.uid, pageno)), self.sim.clock.now)
-        return self.hierarchy.transfer_cost(src, self.hierarchy.core)
+        return self.hierarchy.transfer_cost(src, self.hierarchy.core) + backoff
 
     def _evict_core_move(self, rp: ResidentPage) -> int:
         """Move one resident page core -> bulk.  Bulk must have room."""
         ptw = rp.aseg.ptws[rp.pageno]
         assert ptw.in_core and ptw.frame is not None
-        bulk_frame = self.hierarchy.transfer(
-            self.hierarchy.core, ptw.frame, self.hierarchy.bulk
+        bulk_frame, backoff = self._retry(
+            "pc.evict_core",
+            lambda: self.hierarchy.transfer(
+                self.hierarchy.core, ptw.frame, self.hierarchy.bulk
+            ),
         )
         ptw.evict()
         rp.aseg.homes[rp.pageno] = PageHome("bulk", bulk_frame)
         self._bulk_pages.append((rp.aseg, rp.pageno))
         del self.resident[(rp.aseg.uid, rp.pageno)]
         self.core_evictions += 1
-        return self.hierarchy.transfer_cost(self.hierarchy.core, self.hierarchy.bulk)
+        return (
+            self.hierarchy.transfer_cost(self.hierarchy.core, self.hierarchy.bulk)
+            + backoff
+        )
 
     def _evict_bulk_move(self) -> int:
         """Move the oldest bulk-store page bulk -> disk.
@@ -140,17 +168,25 @@ class PageControl:
         """
         if not self._bulk_pages:
             raise OutOfFrames("bulk store has no evictable page")
-        aseg, pageno = self._bulk_pages.pop(0)
+        # Peek first, pop only after the transfer lands: a fatal
+        # transfer must not lose the page from the census.
+        aseg, pageno = self._bulk_pages[0]
         home = aseg.homes[pageno]
         assert home is not None and home.level == "bulk"
-        disk_frame = self.hierarchy.transfer(
-            self.hierarchy.bulk, home.frame, self.hierarchy.disk
+        disk_frame, backoff = self._retry(
+            "pc.evict_bulk",
+            lambda: self.hierarchy.transfer(
+                self.hierarchy.bulk, home.frame, self.hierarchy.disk
+            ),
         )
+        self._bulk_pages.pop(0)
         aseg.homes[pageno] = PageHome("disk", disk_frame)
         self.bulk_evictions += 1
         return self.hierarchy.transfer_cost(
             self.hierarchy.bulk, self.hierarchy.core
-        ) + self.hierarchy.transfer_cost(self.hierarchy.core, self.hierarchy.disk)
+        ) + self.hierarchy.transfer_cost(
+            self.hierarchy.core, self.hierarchy.disk
+        ) + backoff
 
     def deactivate_segment(self, aseg: ActiveSegment) -> int:
         """Write every resident page back to a disk home and evict it
@@ -163,10 +199,14 @@ class PageControl:
         written = 0
         for pageno in aseg.resident_pages():
             ptw = aseg.ptws[pageno]
-            disk_frame = self.hierarchy.disk.allocate()
-            self.hierarchy.disk.write_page(
-                disk_frame, self.hierarchy.core.read_page(ptw.frame)
+            # Read (retrying parity hits) before allocating the disk
+            # frame, so a fatal read leaks no storage.
+            data, _ = self._retry(
+                "pc.writeback",
+                lambda f=ptw.frame: self.hierarchy.core.read_page(f),
             )
+            disk_frame = self.hierarchy.disk.allocate()
+            self.hierarchy.disk.write_page(disk_frame, data)
             self.hierarchy.core.free(ptw.frame)
             ptw.evict()
             aseg.homes[pageno] = PageHome("disk", disk_frame)
@@ -370,6 +410,10 @@ class ParallelPageControl(PageControl):
                 cost = self._evict_core_move(victim)
             except OutOfFrames:
                 continue
+            except DeviceError:
+                # Retries exhausted on this eviction; the page stays in
+                # core and the daemon keeps serving (degraded, not dead).
+                continue
             yield from self._io(cost)
             # Tell one waiting faulter a frame is available.
             yield Wakeup(self.core_freed)
@@ -381,7 +425,10 @@ class ParallelPageControl(PageControl):
             if self.hierarchy.bulk.free_count >= target or not self._bulk_pages:
                 yield Block(self.bulk_needed)
                 continue
-            cost = self._evict_bulk_move()
+            try:
+                cost = self._evict_bulk_move()
+            except DeviceError:
+                continue  # page stays on the bulk census; keep serving
             yield from self._io(cost)
             yield Wakeup(self.bulk_freed)
 

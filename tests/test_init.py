@@ -3,9 +3,23 @@
 import pytest
 
 from repro.config import InitKind, SystemConfig
+from repro.faults.harness import (
+    crash,
+    harness_config,
+    hierarchy_violations,
+    standard_workload,
+    vandalize,
+)
+from repro.faults.salvager import (
+    MAGIC_CLEAN,
+    MAGIC_RUNNING,
+    HierarchySalvager,
+    read_marker,
+)
 from repro.init.bootstrap import BootstrapInitializer, standard_steps
 from repro.init.image import ImageBuilder, boot_from_image
 from repro.kernel.services import KernelServices
+from repro.system import MulticsSystem
 
 
 class TestBootstrap:
@@ -107,3 +121,96 @@ class TestSystemIntegration:
             system.register_user("Alice", "Crypto", "pw")
             session = system.login("Alice", "Crypto", "pw")
             assert session.home_path == ">udd>Crypto>Alice"
+
+
+class TestSalvager:
+    """Boot-time salvage driven by the salvager_data marker."""
+
+    def _running_system(self):
+        system = MulticsSystem(harness_config()).boot()
+        system.register_user("Alice", "Crypto", "alice-pw")
+        system.register_user("Eve", "Spies", "eve-pw")
+        return system
+
+    def test_boot_writes_running_marker(self):
+        system = self._running_system()
+        assert read_marker(system.services) == MAGIC_RUNNING
+
+    def test_clean_shutdown_writes_clean_marker(self):
+        system = self._running_system()
+        system.shutdown()
+        assert read_marker(system.services) == MAGIC_CLEAN
+
+    def test_clean_shutdown_skips_salvage_on_reboot(self):
+        system = self._running_system()
+        standard_workload(system)
+        system.shutdown()
+        rebooted = MulticsSystem(services=system.services).boot()
+        assert rebooted.salvage_report is None
+        assert not any(
+            r.subject == "kernel.salvager"
+            for r in rebooted.services.audit.records
+        )
+
+    def test_unclean_marker_triggers_salvage(self):
+        system = self._running_system()
+        standard_workload(system)
+        crash(system)  # no shutdown(): marker still says RUNNING
+        rebooted = MulticsSystem(services=system.services).boot()
+        report = rebooted.salvage_report
+        assert report is not None
+        assert report.directories_checked > 0
+        assert any(
+            r.subject == "kernel.salvager" and r.action == "salvage_begin"
+            for r in rebooted.services.audit.records
+        )
+
+    def test_salvage_quarantines_dangling_branch(self):
+        system = self._running_system()
+        standard_workload(system)
+        crash(system)
+        damage = vandalize(system.services, seed=0, kinds=("dangling",))
+        assert damage
+        rebooted = MulticsSystem(services=system.services).boot()
+        report = rebooted.salvage_report
+        assert report.quarantined
+        assert hierarchy_violations(rebooted.services) == []
+
+    def test_salvage_reattaches_orphan_subtree(self):
+        system = self._running_system()
+        standard_workload(system)
+        crash(system)
+        damage = vandalize(system.services, seed=0, kinds=("orphan",))
+        assert damage
+        rebooted = MulticsSystem(services=system.services).boot()
+        report = rebooted.salvage_report
+        assert report.orphans_reattached
+        assert hierarchy_violations(rebooted.services) == []
+        # The lost subtree is findable under the quarantine directory.
+        quarantine = rebooted.services.tree.root.maybe("salvager_quarantine")
+        assert quarantine is not None
+
+    def test_salvage_repairs_torn_directory_label(self):
+        system = self._running_system()
+        standard_workload(system)
+        crash(system)
+        damage = vandalize(system.services, seed=0, kinds=("label",))
+        assert damage
+        rebooted = MulticsSystem(services=system.services).boot()
+        assert rebooted.salvage_report.labels_repaired >= 1
+        assert hierarchy_violations(rebooted.services) == []
+
+    def test_salvage_counts_as_privileged_boot_step(self):
+        system = self._running_system()
+        crash(system)
+        baseline = MulticsSystem(harness_config()).boot().boot_privileged_steps
+        rebooted = MulticsSystem(services=system.services).boot()
+        assert rebooted.boot_privileged_steps == baseline + 1
+
+    def test_require_clean_raises_on_dirty_tree(self):
+        from repro.errors import SalvageNeeded
+
+        system = self._running_system()
+        crash(system)
+        with pytest.raises(SalvageNeeded):
+            HierarchySalvager(system.services).require_clean()
