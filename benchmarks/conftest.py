@@ -7,9 +7,16 @@ summary (so they survive pytest's output capture) in experiment order.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 _REPORTS: dict[str, list[str]] = {}
+
+#: Where benches export their metrics snapshots as JSON.  The schema
+#: guard (scripts/check_bench_schema.py) validates everything here.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
@@ -20,6 +27,29 @@ def report():
         _REPORTS[experiment] = list(lines)
 
     return _report
+
+
+@pytest.fixture
+def export():
+    """Write a bench's metrics snapshot to ``results/<experiment>.json``.
+
+    The document is the registry snapshot (schema-validated before it
+    is written) plus an optional ``bench`` section of derived numbers.
+    """
+
+    def _export(experiment: str, snapshot: dict, extra: dict | None = None):
+        from repro.obs import validate_snapshot
+
+        errors = validate_snapshot(snapshot)
+        assert errors == [], f"{experiment}: invalid snapshot: {errors}"
+        doc = dict(snapshot)
+        if extra is not None:
+            doc["bench"] = extra
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment.lower()}.json"
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    return _export
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -7,12 +7,15 @@ simulated CPU under both ring implementations, and the end-to-end cost
 of a fixed syscall-heavy workload on both machines.
 """
 
+import time
+
 from repro import MulticsSystem, kernel_config
 from repro.config import CostModel, RingMode
 from repro.hw.cpu import CPU, CodeSegment, Instruction as I, Op
 from repro.hw.memory import MemoryLevel
 from repro.hw.rings import kernel_gate_brackets, user_brackets
 from repro.hw.segmentation import SDW, AccessMode, DescriptorSegment
+from repro.obs import MetricsRegistry
 
 
 class _Ctx:
@@ -62,14 +65,17 @@ def measure_call_cost(ring_mode: RingMode, target_segno: int) -> int:
 
 
 def syscall_workload(system):
+    """Gate-call cycles of a 50-syscall burst, read from the metrics
+    registry's snapshot API (not from private process fields)."""
     session = system.login("Alice", "Crypto", "alice-pw")
-    start = session.process.cpu_cycles
+    before = system.metrics.snapshot()
     for i in range(50):
         session.call("hcs_$get_root")
-    return session.process.cpu_cycles - start
+    after = system.metrics.snapshot()
+    return MetricsRegistry.delta(before, after)["gate.cycles"]
 
 
-def test_e4_cross_ring_call_cost(benchmark, report):
+def test_e4_cross_ring_call_cost(benchmark, report, export):
     costs = {}
     for mode in (RingMode.SOFTWARE_645, RingMode.HARDWARE_6180):
         in_ring = measure_call_cost(mode, 2)
@@ -83,13 +89,24 @@ def test_e4_cross_ring_call_cost(benchmark, report):
 
     # End-to-end: the same syscall workload on both machines.
     workload_cycles = {}
+    last_system = None
     for mode in (RingMode.SOFTWARE_645, RingMode.HARDWARE_6180):
         system = MulticsSystem(kernel_config(ring_mode=mode)).boot()
         system.register_user("Alice", "Crypto", "alice-pw")
         if mode is RingMode.HARDWARE_6180:
             workload_cycles[mode] = benchmark(syscall_workload, system)
+            last_system = system
         else:
             workload_cycles[mode] = syscall_workload(system)
+
+    snap = last_system.metrics.snapshot()
+    export("E4", snap, extra={
+        "in_ring_645": in_645, "cross_ring_645": cross_645,
+        "in_ring_6180": in_6180, "cross_ring_6180": cross_6180,
+        "workload_cycles_645": workload_cycles[RingMode.SOFTWARE_645],
+        "workload_cycles_6180": workload_cycles[RingMode.HARDWARE_6180],
+    })
+    assert snap["counters"]["gate.calls"] > 0
 
     report("E4", [
         "E4: ring-crossing cost (paper: 6180 cross-ring == in-ring call)",
@@ -100,4 +117,46 @@ def test_e4_cross_ring_call_cost(benchmark, report):
         f"  6180 cross-ring (gate) call cycles     {cross_6180:>8}   (1.0x)",
         f"  50-syscall workload on 645             {workload_cycles[RingMode.SOFTWARE_645]:>8} cycles",
         f"  50-syscall workload on 6180            {workload_cycles[RingMode.HARDWARE_6180]:>8} cycles",
+    ])
+
+
+def _timed_workload(tracing: bool, repeats: int = 5):
+    """(simulated gate cycles, best wall-clock seconds) of the syscall
+    workload with the tracer off or on."""
+    best = float("inf")
+    cycles = None
+    for _ in range(repeats):
+        system = MulticsSystem(kernel_config(tracing=tracing)).boot()
+        system.register_user("Alice", "Crypto", "alice-pw")
+        t0 = time.perf_counter()
+        got = syscall_workload(system)
+        best = min(best, time.perf_counter() - t0)
+        assert cycles is None or cycles == got  # deterministic workload
+        cycles = got
+    return cycles, best, system
+
+
+def test_e4_tracer_overhead(report):
+    """The observability acceptance check: a disabled tracer must not
+    perturb the simulation at all (identical simulated cycles), and
+    enabled tracing must actually capture the hot-path spans."""
+    cycles_off, wall_off, _ = _timed_workload(tracing=False)
+    cycles_on, wall_on, traced = _timed_workload(tracing=True)
+
+    # Simulated-cycle overhead of the instrumentation: exactly zero.
+    assert cycles_off == cycles_on
+
+    counts = traced.tracer.counts()
+    assert counts.get("gate", 0) >= 50
+    assert counts.get("ring_crossing", 0) >= 50
+
+    ratio = wall_on / wall_off if wall_off else float("inf")
+    report("E4b", [
+        "E4b: tracer overhead on the 50-syscall workload",
+        f"  simulated gate cycles, tracer off      {cycles_off:>8}",
+        f"  simulated gate cycles, tracer on       {cycles_on:>8}   (identical)",
+        f"  best wall-clock, tracer off (ms)       {wall_off * 1e3:>8.2f}",
+        f"  best wall-clock, tracer on  (ms)       {wall_on * 1e3:>8.2f}"
+        f"   ({ratio:.2f}x)",
+        f"  spans captured when enabled            {len(traced.tracer.spans):>8}",
     ])

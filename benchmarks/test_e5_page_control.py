@@ -8,11 +8,10 @@ executes (the paper's structural point), fault latency, and the
 worst-case cascade depth.
 """
 
-import statistics
-
 from repro.config import PageControlKind, SystemConfig
 from repro.hw.clock import Simulator
 from repro.hw.memory import MemoryHierarchy
+from repro.obs import MetricsRegistry
 from repro.proc.process import Process, ProcessState
 from repro.proc.scheduler import TrafficController
 from repro.vm.page_control import make_page_control
@@ -27,13 +26,20 @@ def storm_config() -> SystemConfig:
 
 
 def run_storm(kind: PageControlKind):
-    """Four processes sweep segments larger than core, twice."""
+    """Four processes sweep segments larger than core, twice.
+
+    Returns the registry *snapshot* — the storm's whole measurement
+    surface (fault counts, latency and step histograms, the finish
+    time on the simulated clock) read through the export API.
+    """
     config = storm_config()
     sim = Simulator()
-    tc = TrafficController(sim, config)
-    hierarchy = MemoryHierarchy(config)
+    metrics = MetricsRegistry(clock=sim.clock)
+    tc = TrafficController(sim, config, metrics=metrics)
+    hierarchy = MemoryHierarchy(config, metrics=metrics)
     ast = ActiveSegmentTable(hierarchy)
-    pc = make_page_control(kind, sim, tc, hierarchy, ast, config)
+    pc = make_page_control(kind, sim, tc, hierarchy, ast, config,
+                           metrics=metrics)
     segments = [ast.activate(uid=i, n_pages=12) for i in range(4)]
 
     def body(seg):
@@ -49,28 +55,34 @@ def run_storm(kind: PageControlKind):
         tc.add_process(worker)
     tc.run(max_events=2_000_000)
     assert all(w.state is ProcessState.STOPPED for w in workers)
-    return pc, workers, sim.clock.now
+    return metrics.snapshot()
 
 
-def summarize(pc):
-    latencies = [r.latency for r in pc.fault_records]
-    steps = [r.steps_in_faulter for r in pc.fault_records]
+def summarize(snap):
+    latency = snap["histograms"]["pc.fault_latency"]
+    steps = snap["histograms"]["pc.fault_steps"]
     return {
-        "faults": pc.faults_serviced,
-        "mean_latency": statistics.mean(latencies),
-        "p_max_latency": max(latencies),
-        "mean_steps": statistics.mean(steps),
-        "max_steps": max(steps),
-        "evictions": pc.core_evictions,
+        "faults": snap["counters"]["pc.faults_serviced"],
+        "mean_latency": latency["mean"],
+        "p_max_latency": latency["max"],
+        "mean_steps": steps["mean"],
+        "max_steps": steps["max"],
+        "evictions": snap["counters"]["pc.core_evictions"],
+        "elapsed": snap["clock"],
     }
 
 
-def test_e5_fault_path_simplification(benchmark, report):
-    seq_pc, _, seq_time = run_storm(PageControlKind.SEQUENTIAL)
-    par_pc, _, par_time = benchmark(run_storm, PageControlKind.PARALLEL)
+def test_e5_fault_path_simplification(benchmark, report, export):
+    seq_snap = run_storm(PageControlKind.SEQUENTIAL)
+    par_snap = benchmark(run_storm, PageControlKind.PARALLEL)
 
-    seq = summarize(seq_pc)
-    par = summarize(par_pc)
+    seq = summarize(seq_snap)
+    par = summarize(par_snap)
+    seq_time, par_time = seq["elapsed"], par["elapsed"]
+
+    export("E5", par_snap, extra={
+        "sequential": seq, "parallel": par,
+    })
 
     # The structural claim: the faulting process's path collapses to a
     # single step in the new design; the old design cascades.

@@ -14,32 +14,48 @@ from repro.io import buffers as buffers_module
 from repro.io.buffers import CircularBuffer, InfiniteVMBuffer
 from repro.io.network import NetworkAttachment, TrafficPattern
 from repro.kernel.metrics import count_statements
+from repro.obs import MetricsRegistry
 
 CAPACITY = 8
 BURSTS = [2, 4, 8, 16, 32, 64]
 
 
 def deliver_burst(buffer, burst_size: int):
+    """Deliver one burst into *buffer*; loss comes from the registry
+    snapshot (``io.buffer.lost``), not from private attachment fields.
+    Returns ``(lost, snapshot)``."""
     sim = Simulator()
+    metrics = MetricsRegistry(clock=sim.clock)
     net = NetworkAttachment(
-        sim, InterruptController(sim.clock), line=6, buffer=buffer
+        sim, InterruptController(sim.clock), line=6, buffer=buffer,
+        metrics=metrics,
     )
     TrafficPattern(burst_size=burst_size, burst_gap=0, n_bursts=1).schedule_into(net)
     sim.run()
-    return net.messages_lost
+    snap = metrics.snapshot()
+    return snap["counters"]["io.buffer.lost"], snap
 
 
 def sweep():
     rows = []
+    last_snap = None
     for burst in BURSTS:
-        lost_ring = deliver_burst(CircularBuffer(CAPACITY), burst)
-        lost_vm = deliver_burst(InfiniteVMBuffer(), burst)
+        lost_ring, _ = deliver_burst(CircularBuffer(CAPACITY), burst)
+        lost_vm, last_snap = deliver_burst(InfiniteVMBuffer(), burst)
         rows.append((burst, lost_ring, lost_vm))
-    return rows
+    return rows, last_snap
 
 
-def test_e6_buffer_loss_sweep(benchmark, report):
-    rows = benchmark(sweep)
+def test_e6_buffer_loss_sweep(benchmark, report, export):
+    rows, snap = benchmark(sweep)
+
+    export("E6", snap, extra={
+        "capacity": CAPACITY,
+        "sweep": [
+            {"burst": b, "lost_circular": lr, "lost_infinite": lv}
+            for b, lr, lv in rows
+        ],
+    })
 
     for burst, lost_ring, lost_vm in rows:
         assert lost_vm == 0

@@ -8,8 +8,6 @@ fault — recovered, degraded, or fatal — plus the recovery latency in
 simulated ticks and the security ledger (any Eve access granted?).
 """
 
-import statistics
-
 from repro.faults.harness import (
     harness_config,
     run_crash_recovery,
@@ -44,27 +42,38 @@ def run_under_fire(scale: float):
     system.register_user("Alice", "Crypto", "alice-pw")
     system.register_user("Eve", "Spies", "eve-pw")
     result = standard_workload(system)
-    injector = system.services.injector
     eve_grants = [
         d for d in security_decisions(system.services.audit)
         if d[0].startswith("Eve") and d[3] == "granted" and "Alice" in d[1]
     ]
+    # Everything the recovery plane measured comes from the registry
+    # snapshot.  At scale 0 no injector exists, so the faults.* names
+    # are simply absent — hence the .get(..., 0) defaults.
+    snap = system.metrics.snapshot()
+    counters = snap["counters"]
+    recovery = snap["histograms"].get("faults.recovery_ticks")
     return {
-        "injected": injector.injected_count if injector else 0,
-        "recovered": injector.recovered if injector else 0,
-        "degraded": injector.degraded if injector else 0,
-        "fatal": injector.fatal if injector else 0,
+        "injected": counters.get("faults.injected", 0),
+        "recovered": counters.get("faults.recovered", 0),
+        "degraded": counters.get("faults.degraded", 0),
+        "fatal": counters.get("faults.fatal", 0),
         "denied_use": result.denied_use,
         "probes_denied": result.expected_denials,
         "eve_grants": len(eve_grants),
-        "recovery_ticks": list(injector.recovery_ticks) if injector else [],
-        "elapsed": system.services.sim.clock.now,
+        "mean_recovery": recovery["mean"] if recovery and recovery["count"] else None,
+        "elapsed": snap["clock"],
+        "snapshot": snap,
     }
 
 
-def test_r1_fault_recovery(benchmark, report):
+def test_r1_fault_recovery(benchmark, report, export):
     scales = [0.0, 1.0, 2.0, 4.0]
     runs = {scale: run_under_fire(scale) for scale in scales}
+
+    export("R1", runs[1.0]["snapshot"], extra={
+        str(s): {k: v for k, v in runs[s].items() if k != "snapshot"}
+        for s in scales
+    })
 
     # The benchmark fixture times the moderately-hostile run.
     benchmark(lambda: run_under_fire(1.0))
@@ -87,9 +96,9 @@ def test_r1_fault_recovery(benchmark, report):
     assert crash.unauthorized == []
 
     def ticks(r):
-        if not r["recovery_ticks"]:
+        if r["mean_recovery"] is None:
             return "-"
-        return f"{statistics.mean(r['recovery_ticks']):.0f}"
+        return f"{r['mean_recovery']:.0f}"
 
     lines = [
         "R1 fault recovery (denial of use is the worst case)",

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Guard the bench-export schema.
+
+Every benchmark that exports numbers writes a registry snapshot (plus a
+``bench`` section of derived values) to ``benchmarks/results/*.json``.
+This script validates each document against ``repro.obs``'s
+:func:`validate_snapshot` — the single source of truth for the snapshot
+shape — and exits non-zero on any violation, so a schema drift between
+the registry and the exported artifacts fails loudly instead of
+silently feeding stale-shaped JSON to downstream tooling.
+
+No result files is not an error: a fresh checkout has not run the
+benches yet.  Usage::
+
+    python scripts/check_bench_schema.py [results_dir]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs import validate_snapshot  # noqa: E402
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Violations for one exported result file (empty list = valid)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    errors = validate_snapshot(doc)
+    # The export fixture may add one extra section of derived numbers.
+    if "bench" in doc and not isinstance(doc["bench"], dict):
+        errors.append("bench section must be an object")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    default = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+    results_dir = pathlib.Path(argv[1]) if len(argv) > 1 else default
+    files = sorted(results_dir.glob("*.json")) if results_dir.is_dir() else []
+    if not files:
+        print(f"check_bench_schema: no result files under {results_dir}")
+        return 0
+    failed = 0
+    for path in files:
+        errors = check_file(path)
+        if errors:
+            failed += 1
+            for error in errors:
+                print(f"{path.name}: {error}")
+        else:
+            print(f"{path.name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -164,6 +164,11 @@ class SystemConfig:
     #: service when next freed (graceful degradation).
     frame_retire_threshold: int = 3
 
+    #: Enable the observability tracer (repro.obs.tracer).  Off by
+    #: default: a disabled tracer costs one flag check per emitting
+    #: site and zero simulated cycles.
+    tracing: bool = False
+
     costs: CostModel = field(default_factory=CostModel)
 
     def cross_ring_penalty(self) -> int:

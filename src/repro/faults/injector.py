@@ -40,6 +40,7 @@ class FaultInjector:
         plan: "FaultPlan",
         audit: "AuditLog | None" = None,
         clock: "Clock | None" = None,
+        metrics=None,
     ) -> None:
         self.plan = plan
         self.audit = audit
@@ -52,6 +53,20 @@ class FaultInjector:
         self.fatal = 0
         #: Simulated ticks each recovery action took (bench material).
         self.recovery_ticks: list[int] = []
+        self._h_recovery = None
+        if metrics is not None:
+            metrics.counter("faults.injected", "faults the plan injected",
+                            source=lambda: self.injected_count)
+            metrics.counter("faults.recovered", "faults absorbed by recovery",
+                            source=lambda: self.recovered)
+            metrics.counter("faults.degraded", "equipment taken out of service",
+                            source=lambda: self.degraded)
+            metrics.counter("faults.fatal", "retry budgets exhausted",
+                            source=lambda: self.fatal)
+            self._h_recovery = metrics.histogram(
+                "faults.recovery_ticks",
+                "simulated ticks per recovery action",
+            )
 
     # -- the hardware-facing question ----------------------------------
 
@@ -72,6 +87,8 @@ class FaultInjector:
                        detail: str = "") -> None:
         self.recovered += 1
         self.recovery_ticks.append(ticks)
+        if self._h_recovery is not None:
+            self._h_recovery.observe(ticks)
         self._log(RECOVERY_SUBJECT, site, action, "recovered", detail)
 
     def note_degraded(self, site: str, detail: str = "") -> None:

@@ -47,24 +47,35 @@ def retry_call(
     policy: RetryPolicy,
     injector: "FaultInjector | None",
     site: str,
+    tracer=None,
 ) -> tuple[T, int]:
     """Run ``thunk``, retrying transient faults up to the policy budget.
 
     Returns ``(result, backoff_cycles_spent)`` so the caller can charge
     the waiting to simulated time.  Exhausting the budget promotes the
     transient fault to :class:`DeviceError` (denial of use) after a
-    ``fatal`` audit record.
+    ``fatal`` audit record.  A first failure opens a ``retry`` span on
+    ``tracer`` (when given and enabled) covering the whole retry loop.
     """
     attempt = 0
     spent = 0
+    sid = -1
     while True:
         try:
-            return thunk(), spent
+            result = thunk()
+            if tracer is not None and sid >= 0:
+                tracer.end(sid, attempts=attempt, spent=spent, outcome="ok")
+            return result, spent
         except TransientFault as fault:
             attempt += 1
+            if tracer is not None and sid < 0 and tracer.enabled:
+                sid = tracer.begin("retry", site=site)
             if attempt > policy.max_retries:
                 if injector is not None:
                     injector.note_fatal(site, str(fault))
+                if tracer is not None and sid >= 0:
+                    tracer.end(sid, attempts=attempt, spent=spent,
+                               outcome="fatal")
                 raise DeviceError(
                     f"{site}: failed after {policy.max_retries} retries: {fault}"
                 ) from fault

@@ -31,6 +31,7 @@ from repro.errors import IllegalInstruction, MissingPageFault, ReproError
 from repro.hw.memory import MemoryLevel
 from repro.hw.rings import call_check, call_cost
 from repro.hw.segmentation import DescriptorSegment, Intent, translate
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 
 
 class Op(enum.Enum):
@@ -153,6 +154,8 @@ class CPU:
         page_size: int,
         on_missing_page: Callable[[MachineContext, int, int], None] | None = None,
         on_linkage_fault: Callable[[MachineContext, int], None] | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.core = core
         self.costs = costs
@@ -160,11 +163,21 @@ class CPU:
         self.page_size = page_size
         self.on_missing_page = on_missing_page
         self.on_linkage_fault = on_linkage_fault
+        self.tracer = tracer or NULL_TRACER
         self.cycles = 0
         #: Counters for the benches.
         self.calls_in_ring = 0
         self.calls_cross_ring = 0
         self.instructions_executed = 0
+        if metrics is not None:
+            metrics.counter("cpu.cycles", "simulated cycles charged",
+                            source=lambda: self.cycles)
+            metrics.counter("cpu.instructions", "instructions executed",
+                            source=lambda: self.instructions_executed)
+            metrics.counter("cpu.calls_in_ring", "same-ring calls",
+                            source=lambda: self.calls_in_ring)
+            metrics.counter("cpu.calls_cross_ring", "ring-crossing calls",
+                            source=lambda: self.calls_cross_ring)
 
     # -- memory helpers ---------------------------------------------------
 
@@ -347,6 +360,11 @@ class CPU:
             self.calls_in_ring += 1
         else:
             self.calls_cross_ring += 1
+            if self.tracer.enabled:
+                self.tracer.point(
+                    "ring_crossing", origin="cpu",
+                    from_ring=old_ring, to_ring=new_ring,
+                )
 
     def _do_call(
         self,

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.hw.clock import Clock
+from repro.obs import NULL_TRACER
 
 
 @dataclass
@@ -39,11 +40,13 @@ class InterruptController:
     """Models the 6180's interrupt cells: per-line pending queues and a
     global mask."""
 
-    def __init__(self, clock: Clock, n_lines: int = 16) -> None:
+    def __init__(self, clock: Clock, n_lines: int = 16,
+                 metrics=None, tracer=None) -> None:
         if n_lines <= 0:
             raise ValueError("need at least one interrupt line")
         self.clock = clock
         self.n_lines = n_lines
+        self.tracer = tracer or NULL_TRACER
         self._pending: deque[Interrupt] = deque()
         self._masked = False
         self._interceptor: Callable[[Interrupt], None] | None = None
@@ -52,6 +55,15 @@ class InterruptController:
         self.delivered = 0
         self.masked_cycles = 0
         self._masked_since: int | None = None
+        if metrics is not None:
+            metrics.counter("intr.raised", "interrupts raised",
+                            source=lambda: self.raised)
+            metrics.counter("intr.delivered", "interrupts delivered",
+                            source=lambda: self.delivered)
+            metrics.counter("intr.masked_cycles", "cycles spent masked",
+                            source=lambda: self.masked_cycles)
+            metrics.gauge("intr.pending", "interrupts awaiting delivery",
+                          source=lambda: len(self._pending))
 
     def set_interceptor(self, fn: Callable[[Interrupt], None]) -> None:
         """Install the OS's interrupt interceptor."""
@@ -98,4 +110,14 @@ class InterruptController:
             self.delivered += 1
             # The interceptor may mask(), which stops the drain; the
             # remaining interrupts wait for the matching unmask().
-            self._interceptor(interrupt)
+            if self.tracer.enabled:
+                sid = self.tracer.begin(
+                    "interrupt", line=interrupt.line,
+                    raised_at=interrupt.raised_at,
+                )
+                try:
+                    self._interceptor(interrupt)
+                finally:
+                    self.tracer.end(sid)
+            else:
+                self._interceptor(interrupt)

@@ -191,6 +191,7 @@ class MemoryHierarchy:
         self,
         config: SystemConfig,
         injector: "FaultInjector | None" = None,
+        metrics=None,
     ) -> None:
         costs = config.costs
         clear = config.clear_freed_frames
@@ -214,6 +215,22 @@ class MemoryHierarchy:
         )
         #: (from_level, to_level) -> count, for the page-control benches.
         self.transfer_counts: dict[tuple[str, str], int] = {}
+        if metrics is not None:
+            for level in (self.core, self.bulk, self.disk):
+                prefix = f"mem.{level.name}"
+                metrics.counter(f"{prefix}.allocations", "frames taken",
+                                source=lambda lv=level: lv.allocations)
+                metrics.counter(f"{prefix}.frees", "frames returned",
+                                source=lambda lv=level: lv.frees)
+                metrics.gauge(f"{prefix}.free_frames", "free frames now",
+                              source=lambda lv=level: lv.free_count)
+                metrics.gauge(f"{prefix}.retired_frames",
+                              "frames retired by degradation",
+                              source=lambda lv=level: len(lv.retired))
+            metrics.counter(
+                "mem.transfers", "page moves between levels",
+                source=lambda: sum(self.transfer_counts.values()),
+            )
 
     def level(self, name: str) -> MemoryLevel:
         try:

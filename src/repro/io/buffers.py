@@ -113,8 +113,12 @@ class InfiniteVMBuffer:
         self._messages.append(message)
         queued = len(self._messages) - self._read
         self.stats.peak_queue = max(self.stats.peak_queue, queued)
-        if len(self._messages) % self.messages_per_page == 1:
-            self.pages_allocated += 1
+        # Grow whenever the message census spills past the storage
+        # already allocated (ceiling division — a modulo test breaks
+        # down when messages_per_page == 1, where `len % 1` is never 1).
+        pages_needed = -(-len(self._messages) // self.messages_per_page)
+        if pages_needed > self.pages_allocated:
+            self.pages_allocated = pages_needed
             if self.page_hook is not None:
                 self.page_hook()
         return True

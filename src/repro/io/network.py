@@ -47,6 +47,7 @@ class NetworkAttachment:
         buffer: CircularBuffer | InfiniteVMBuffer,
         latency: int = 20,
         injector: "FaultInjector | None" = None,
+        metrics=None,
     ) -> None:
         self.sim = sim
         self.interrupts = interrupts
@@ -62,6 +63,37 @@ class NetworkAttachment:
         self.duplicated = 0
         self.duplicates_suppressed = 0
         self._seen_seqs: set[int] = set()
+        if metrics is not None:
+            metrics.counter("net.received", "messages accepted into the buffer",
+                            source=lambda: self.received_count)
+            metrics.counter("net.dropped", "messages lost on the wire",
+                            source=lambda: self.dropped)
+            metrics.counter("net.duplicated", "messages duplicated in flight",
+                            source=lambda: self.duplicated)
+            metrics.counter("net.duplicates_suppressed",
+                            "duplicate deliveries the kernel discarded",
+                            source=lambda: self.duplicates_suppressed)
+            # The input buffer's own book, whatever its kind.
+            stats = self.buffer.stats
+            metrics.counter("io.buffer.puts", "messages written to the buffer",
+                            source=lambda: stats.puts)
+            metrics.counter("io.buffer.gets", "messages read from the buffer",
+                            source=lambda: stats.gets)
+            metrics.counter("io.buffer.overwrites",
+                            "messages destroyed by writer lapping reader",
+                            source=lambda: stats.overwrites)
+            metrics.counter("io.buffer.underruns", "reads that found nothing",
+                            source=lambda: stats.underruns)
+            metrics.counter("io.buffer.lost", "messages lost to the consumer",
+                            source=lambda: self.buffer.lost)
+            metrics.gauge("io.buffer.queued", "unconsumed messages now",
+                          source=lambda: len(self.buffer))
+            metrics.gauge("io.buffer.peak_queue", "queue high-water mark",
+                          source=lambda: stats.peak_queue)
+            metrics.gauge("io.buffer.pages_allocated",
+                          "VM pages backing the infinite buffer",
+                          source=lambda: getattr(
+                              self.buffer, "pages_allocated", 0))
 
     # -- inbound ------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.config import NUM_RINGS, SystemConfig
 from repro.errors import AccessViolation, InvalidArgument, KernelDenial
 from repro.hw.rings import RingBrackets, call_cost
+from repro.obs import NULL_TRACER
 from repro.security.audit import AuditLog
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -166,6 +167,14 @@ class GateTable:
         self._gates: dict[str, Gate] = {}
         self.calls = 0
         self.rejections = 0
+        self.tracer = getattr(services, "tracer", None) or NULL_TRACER
+        metrics = getattr(services, "metrics", None)
+        if metrics is not None:
+            metrics.counter("gate.calls", "gate invocations",
+                            source=lambda: self.calls)
+            metrics.counter("gate.rejections",
+                            "gate calls refused before dispatch",
+                            source=lambda: self.rejections)
 
     # -- registration ---------------------------------------------------------
 
@@ -223,6 +232,18 @@ class GateTable:
         refusal, :class:`AccessViolation` on ring/gate violations, and
         :class:`InvalidArgument` on malformed arguments.
         """
+        if not self.tracer.enabled:
+            return self._call(process, name, *args)
+        sid = self.tracer.begin("gate", gate=name, caller_ring=process.ring)
+        try:
+            result = self._call(process, name, *args)
+        except BaseException as exc:
+            self.tracer.end(sid, outcome=type(exc).__name__)
+            raise
+        self.tracer.end(sid, outcome="granted")
+        return result
+
+    def _call(self, process: "Process", name: str, *args: object) -> object:
         self.calls += 1
         clock = self.services.sim.clock
         gate = self.gate(name)
@@ -246,6 +267,11 @@ class GateTable:
         )
         process.cpu_cycles += cost
         self.services.gate_cycles += cost
+        if self.tracer.enabled and new_ring != caller_ring:
+            self.tracer.point(
+                "ring_crossing", origin="gate", gate=name,
+                from_ring=caller_ring, to_ring=new_ring,
+            )
 
         # 2. Argument validation before anything else runs.
         if len(args) != len(gate.signature):

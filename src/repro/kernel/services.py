@@ -25,6 +25,7 @@ from repro.fs.uid_layer import UidFileSystem
 from repro.hw.clock import Simulator
 from repro.hw.interrupts import InterruptController
 from repro.hw.memory import MemoryHierarchy
+from repro.obs import MetricsRegistry, Tracer
 from repro.proc.scheduler import TrafficController
 from repro.security.audit import AuditLog
 from repro.security.mac import BOTTOM
@@ -76,7 +77,13 @@ class KernelServices:
         config.validate()
         self.config = config
         self.sim = Simulator()
-        self.scheduler = TrafficController(self.sim, config)
+        # The observability plane: one registry and one tracer shared by
+        # every model built below.  The tracer is off unless the config
+        # asks for it; instruments cost nothing until snapshot time.
+        self.metrics = MetricsRegistry(clock=self.sim.clock)
+        self.tracer = Tracer(self.sim.clock, enabled=config.tracing)
+        self.scheduler = TrafficController(self.sim, config,
+                                           metrics=self.metrics)
         self.audit = AuditLog()
         # The fault plane: built before the hardware so every model can
         # consult one injector.  A fresh fork keeps this system's
@@ -87,14 +94,18 @@ class KernelServices:
                 config.fault_plan.fork(),
                 audit=self.audit,
                 clock=self.sim.clock,
+                metrics=self.metrics,
             )
             if config.fault_plan is not None
             else None
         )
         self.retry_policy = RetryPolicy.from_config(config)
-        self.hierarchy = MemoryHierarchy(config, injector=self.injector)
+        self.hierarchy = MemoryHierarchy(config, injector=self.injector,
+                                         metrics=self.metrics)
         self.ast = ActiveSegmentTable(self.hierarchy)
-        self.interrupts = InterruptController(self.sim.clock)
+        self.interrupts = InterruptController(self.sim.clock,
+                                              metrics=self.metrics,
+                                              tracer=self.tracer)
         self.monitor = ReferenceMonitor(self.audit)
         self.page_control: PageControl = make_page_control(
             config.page_control,
@@ -103,6 +114,8 @@ class KernelServices:
             self.hierarchy,
             self.ast,
             config,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.ufs = UidFileSystem(self.ast, page_control=self.page_control)
         root_uid = self.ufs.create_segment(
@@ -121,6 +134,15 @@ class KernelServices:
         #: Counters the benches read.
         self.gate_cycles = 0
         self.supervisor_incidents = 0
+        self.metrics.counter(
+            "gate.cycles", "simulated cycles charged to gate calls",
+            source=lambda: self.gate_cycles,
+        )
+        self.metrics.counter(
+            "kernel.supervisor_incidents",
+            "exceptions absorbed at the gate boundary",
+            source=lambda: self.supervisor_incidents,
+        )
 
     def _build_io(self) -> None:
         """Create the peripheral inventory and the network attachment."""
@@ -156,7 +178,8 @@ class KernelServices:
                 messages_per_page=max(self.config.page_size // 4, 1)
             )
         self.network = NetworkAttachment(
-            sim, ic, line=6, buffer=buffer, injector=self.injector
+            sim, ic, line=6, buffer=buffer, injector=self.injector,
+            metrics=self.metrics,
         )
 
     # -- users ---------------------------------------------------------------
@@ -231,6 +254,7 @@ class KernelServices:
             self.retry_policy,
             self.injector,
             "kernel.read_word",
+            tracer=self.tracer,
         )
         return value
 

@@ -1,0 +1,33 @@
+"""The observability plane: one metrics namespace, one span tracer.
+
+See :mod:`repro.obs.registry` for instruments and the snapshot schema,
+:mod:`repro.obs.tracer` for the span taxonomy.  The system facade wires
+one :class:`MetricsRegistry` and one :class:`Tracer` through
+:class:`repro.kernel.services.KernelServices`; standalone components
+(a bare CPU, a bench-built scheduler) accept them as optional
+constructor arguments.
+"""
+
+from repro.obs.registry import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_snapshot,
+)
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "validate_snapshot",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+]

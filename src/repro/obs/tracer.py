@@ -1,0 +1,122 @@
+"""Simulated-clock span tracing for the kernel's hot paths.
+
+A :class:`Span` marks one interval of simulated time in a named
+category with free-form attributes.  The taxonomy (kept in sync with
+the DESIGN.md "Observability" section):
+
+* ``gate``          — one supervisor gate invocation, entry to exit;
+* ``ring_crossing`` — one hardware or gate-level ring transition
+  (instantaneous: the crossing itself is a point event);
+* ``page_fault``    — one missing-page fault service, begin to satisfy;
+* ``interrupt``     — delivery of one interrupt to the interceptor;
+* ``retry``         — one bounded-retry recovery loop around an I/O op.
+
+Zero cost when disabled: every emitting site is guarded by the
+``enabled`` flag (one attribute read), ``begin`` returns the sentinel
+``-1`` immediately, and ``end(-1)`` is a no-op — a disabled tracer
+allocates nothing and charges no simulated cycles.  Synchronous
+sections (gate calls) use the begin/end pair in try/finally; generator
+paths (page faults) carry the span id across their yields, so
+overlapping faults from different processes trace correctly.
+
+Times come from the shared simulated :class:`repro.hw.clock.Clock`.
+Paths that execute synchronously (the simulated clock does not advance
+under them) produce zero-duration spans whose *attributes* carry the
+cost, e.g. ``cycles`` on gate spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One traced interval of simulated time."""
+
+    name: str
+    start: int
+    end: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int | None:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects spans stamped with the simulated clock."""
+
+    __slots__ = ("clock", "enabled", "spans")
+
+    def __init__(self, clock=None, enabled: bool = False) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.spans: list[Span] = []
+
+    # -- switches --------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.spans = []
+
+    # -- emission --------------------------------------------------------
+
+    def _now(self) -> int:
+        return self.clock.now if self.clock is not None else 0
+
+    def begin(self, name: str, **attrs) -> int:
+        """Open a span; returns its id (``-1`` when disabled)."""
+        if not self.enabled:
+            return -1
+        self.spans.append(Span(name, self._now(), None, attrs))
+        return len(self.spans) - 1
+
+    def end(self, span_id: int, **attrs) -> None:
+        """Close a span opened by :meth:`begin` (no-op for ``-1``)."""
+        if span_id < 0 or not self.enabled:
+            return
+        span = self.spans[span_id]
+        span.end = self._now()
+        if attrs:
+            span.attrs.update(attrs)
+
+    def point(self, name: str, **attrs) -> None:
+        """A zero-duration span (instantaneous event)."""
+        if not self.enabled:
+            return
+        now = self._now()
+        self.spans.append(Span(name, now, now, attrs))
+
+    # -- queries ---------------------------------------------------------
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for span in self.spans:
+            out[span.name] = out.get(span.name, 0) + 1
+        return out
+
+    def to_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self.spans]
+
+
+#: The shared disabled tracer every component defaults to.  Do not
+#: enable it — construct a real Tracer(clock, enabled=True) instead, or
+#: set ``SystemConfig.tracing`` and let KernelServices build one.
+NULL_TRACER = Tracer(clock=None, enabled=False)

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.config import SystemConfig
 from repro.errors import AccessViolation
 from repro.hw.clock import Simulator
+from repro.obs import MetricsRegistry
 from repro.proc.ipc import Block, Charge, EventChannel, Now, Wakeup
 from repro.proc.process import Process, ProcessState
 from repro.proc.virtual_processor import VirtualProcessorTable
@@ -55,7 +56,12 @@ class Processor:
 class TrafficController:
     """The scheduler: ready queues, dispatch, block/wakeup, preemption."""
 
-    def __init__(self, sim: Simulator, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.sim = sim
         self.config = config
         self.vpt = VirtualProcessorTable(config.n_virtual_processors)
@@ -74,6 +80,24 @@ class TrafficController:
         self.dispatches = 0
         self.preemptions = 0
         self.vp_waits = 0
+        #: Advisor calls that raised (each falls back to FIFO).
+        self.advisor_failures = 0
+        if metrics is not None:
+            metrics.counter("sched.dispatches", "processes dispatched",
+                            source=lambda: self.dispatches)
+            metrics.counter("sched.preemptions", "quantum preemptions",
+                            source=lambda: self.preemptions)
+            metrics.counter("sched.vp_waits",
+                            "admissions parked for a virtual processor",
+                            source=lambda: self.vp_waits)
+            metrics.counter("sched.advisor_failures",
+                            "dispatch-advisor exceptions absorbed",
+                            source=lambda: self.advisor_failures)
+            metrics.gauge("sched.runnable", "ready processes now",
+                          source=lambda: self.runnable)
+            metrics.gauge("sched.vp_waiting",
+                          "processes waiting for a virtual processor",
+                          source=lambda: len(self._vp_wait))
 
     # -- channels ----------------------------------------------------------
 
@@ -104,6 +128,11 @@ class TrafficController:
             self._admit_user(process)
 
     def _admit_user(self, process: Process) -> None:
+        """Give a pooled process a VP, or park it in FIFO wait order.
+
+        Used both for first admission and for re-admission after a
+        blocked process surrendered its VP.
+        """
         if self.vpt.acquire(process) is None:
             process.state = ProcessState.WAITING_VP
             self._vp_wait.append(process)
@@ -139,15 +168,7 @@ class TrafficController:
         if process.dedicated or process.vp is not None:
             self._make_ready(process)
         else:
-            self._admit_user_back(process)
-
-    def _admit_user_back(self, process: Process) -> None:
-        if self.vpt.acquire(process) is None:
-            process.state = ProcessState.WAITING_VP
-            self._vp_wait.append(process)
-            self.vp_waits += 1
-        else:
-            self._make_ready(process)
+            self._admit_user(process)
 
     # -- scheduling core -----------------------------------------------------
 
@@ -164,7 +185,13 @@ class TrafficController:
             return self._ready_kernel.popleft()
         if self._ready_user:
             if self.dispatch_advisor is not None and len(self._ready_user) > 1:
-                index = self.dispatch_advisor(list(self._ready_user))
+                try:
+                    index = self.dispatch_advisor(list(self._ready_user))
+                except Exception:
+                    # A broken advisor costs nothing but its advice:
+                    # a raising one must not wedge dispatch.
+                    self.advisor_failures += 1
+                    index = None
                 if isinstance(index, int) and 0 <= index < len(self._ready_user):
                     self._ready_user.rotate(-index)
                     chosen = self._ready_user.popleft()

@@ -231,6 +231,16 @@ class MulticsSystem:
     def audit(self):
         return self.services.audit
 
+    @property
+    def metrics(self):
+        """The system-wide metrics registry (repro.obs)."""
+        return self.services.metrics
+
+    @property
+    def tracer(self):
+        """The system-wide event tracer (repro.obs)."""
+        return self.services.tracer
+
 
 class Session:
     """A logged-in user's handle on the system.
@@ -415,6 +425,8 @@ class Session:
             page_size=self.system.config.page_size,
             on_missing_page=on_missing_page,
             on_linkage_fault=on_linkage_fault,
+            metrics=services.metrics,
+            tracer=services.tracer,
         )
 
     def install_object(self, path: str, obj, n_pages: int | None = None) -> int:

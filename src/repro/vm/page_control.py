@@ -32,6 +32,7 @@ from repro.errors import DeviceError
 from repro.faults.recovery import RetryPolicy, retry_call
 from repro.hw.clock import Simulator
 from repro.hw.memory import MemoryHierarchy, OutOfFrames
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.proc.ipc import Block, Charge, Now, Wakeup
 from repro.proc.process import Process
 from repro.proc.scheduler import TrafficController
@@ -76,6 +77,8 @@ class PageControl:
         ast: ActiveSegmentTable,
         config: SystemConfig,
         policy: ReplacementPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
@@ -83,6 +86,7 @@ class PageControl:
         self.ast = ast
         self.config = config
         self.policy = policy or make_policy("clock")
+        self.tracer = tracer or NULL_TRACER
         #: (uid, pageno) -> ResidentPage for every page in core.
         self.resident: dict[tuple[int, int], ResidentPage] = {}
         #: FIFO census of pages on the bulk store.
@@ -98,6 +102,24 @@ class PageControl:
         self.bulk_evictions = 0
         self.transfer_retries = 0
         self.fault_records: list[FaultRecord] = []
+        self._h_latency = None
+        self._h_steps = None
+        if metrics is not None:
+            metrics.counter("pc.faults_serviced", "page faults serviced",
+                            source=lambda: self.faults_serviced)
+            metrics.counter("pc.core_evictions", "pages moved core -> bulk",
+                            source=lambda: self.core_evictions)
+            metrics.counter("pc.bulk_evictions", "pages moved bulk -> disk",
+                            source=lambda: self.bulk_evictions)
+            metrics.counter("pc.transfer_retries",
+                            "transfers that needed the retry loop",
+                            source=lambda: self.transfer_retries)
+            metrics.gauge("pc.resident_pages", "pages in core now",
+                          source=lambda: len(self.resident))
+            self._h_latency = metrics.histogram(
+                "pc.fault_latency", "fault service time, cycles")
+            self._h_steps = metrics.histogram(
+                "pc.fault_steps", "page-moves executed by the faulter")
 
     # ------------------------------------------------------------------
     # data movement primitives (no simulated waiting here)
@@ -110,7 +132,9 @@ class PageControl:
         the cost the caller charges to simulated time, so recovery slows
         the workload down instead of sleeping the host.
         """
-        result, spent = retry_call(thunk, self.retry_policy, self.injector, site)
+        result, spent = retry_call(
+            thunk, self.retry_policy, self.injector, site, tracer=self.tracer
+        )
         if spent:
             self.transfer_retries += 1
         return result, spent
@@ -257,6 +281,19 @@ class PageControl:
             rp.aseg.ptws[rp.pageno].used = False
         return victim
 
+    def _record_fault(
+        self, process: Process, started: int, finished: int, steps: int
+    ) -> None:
+        """The common tail of both designs' fault paths: count the
+        fault, charge the wait, and feed the E5 measurement stream."""
+        self.faults_serviced += 1
+        process.fault_wait_cycles += finished - started
+        record = FaultRecord(process.name, started, finished, steps)
+        self.fault_records.append(record)
+        if self._h_latency is not None:
+            self._h_latency.observe(record.latency)
+            self._h_steps.observe(steps)
+
     # ------------------------------------------------------------------
     # simulated I/O wait
     # ------------------------------------------------------------------
@@ -298,21 +335,30 @@ class PageControl:
         structural difference between them is only observable in the
         discrete-event path.
         """
+        sid = -1
+        if self.tracer.enabled:
+            sid = self.tracer.begin(
+                "page_fault", design=self.kind, sync=True,
+                segment=aseg.uid, page=pageno,
+            )
         cost = 0
-        while True:
-            if aseg.ptws[pageno].in_core:
+        try:
+            while True:
+                if aseg.ptws[pageno].in_core:
+                    return cost
+                if self.hierarchy.core.free_count == 0:
+                    if self.hierarchy.bulk.free_count == 0:
+                        cost += self._evict_bulk_move()
+                    cost += self._evict_core_move(self._choose_core_victim())
+                    continue
+                try:
+                    cost += self._page_in_move(aseg, pageno)
+                except OutOfFrames:
+                    continue
+                self.faults_serviced += 1
                 return cost
-            if self.hierarchy.core.free_count == 0:
-                if self.hierarchy.bulk.free_count == 0:
-                    cost += self._evict_bulk_move()
-                cost += self._evict_core_move(self._choose_core_victim())
-                continue
-            try:
-                cost += self._page_in_move(aseg, pageno)
-            except OutOfFrames:
-                continue
-            self.faults_serviced += 1
-            return cost
+        finally:
+            self.tracer.end(sid, cost=cost)
 
     # ------------------------------------------------------------------
 
@@ -332,6 +378,12 @@ class SequentialPageControl(PageControl):
     def fault(self, process: Process, aseg: ActiveSegment, pageno: int):
         process.page_faults += 1
         started = yield Now()
+        sid = -1
+        if self.tracer.enabled:
+            sid = self.tracer.begin(
+                "page_fault", design=self.kind,
+                process=process.name, segment=aseg.uid, page=pageno,
+            )
         steps = 0
         while True:
             if aseg.ptws[pageno].in_core:
@@ -359,11 +411,8 @@ class SequentialPageControl(PageControl):
             yield from self._io(cost)
             break
         finished = yield Now()
-        self.faults_serviced += 1
-        process.fault_wait_cycles += finished - started
-        self.fault_records.append(
-            FaultRecord(process.name, started, finished, steps)
-        )
+        self.tracer.end(sid, steps=steps)
+        self._record_fault(process, started, finished, steps)
 
 
 class ParallelPageControl(PageControl):
@@ -438,6 +487,12 @@ class ParallelPageControl(PageControl):
         """The greatly simplified path: wait for a frame, transfer."""
         process.page_faults += 1
         started = yield Now()
+        sid = -1
+        if self.tracer.enabled:
+            sid = self.tracer.begin(
+                "page_fault", design=self.kind,
+                process=process.name, segment=aseg.uid, page=pageno,
+            )
         steps = 0
         while True:
             if aseg.ptws[pageno].in_core:
@@ -457,11 +512,8 @@ class ParallelPageControl(PageControl):
             yield from self._io(cost)
             break
         finished = yield Now()
-        self.faults_serviced += 1
-        process.fault_wait_cycles += finished - started
-        self.fault_records.append(
-            FaultRecord(process.name, started, finished, steps)
-        )
+        self.tracer.end(sid, steps=steps)
+        self._record_fault(process, started, finished, steps)
 
 
 def make_page_control(
@@ -472,12 +524,15 @@ def make_page_control(
     ast: ActiveSegmentTable,
     config: SystemConfig,
     policy: ReplacementPolicy | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> PageControl:
     """Build (and for the parallel design, install) page control."""
     cls = {
         PageControlKind.SEQUENTIAL: SequentialPageControl,
         PageControlKind.PARALLEL: ParallelPageControl,
     }[kind]
-    control = cls(sim, scheduler, hierarchy, ast, config, policy)
+    control = cls(sim, scheduler, hierarchy, ast, config, policy,
+                  metrics=metrics, tracer=tracer)
     control.install()
     return control

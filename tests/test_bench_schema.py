@@ -1,0 +1,72 @@
+"""Tier-1 wiring for the bench-export schema guard.
+
+The benches export registry snapshots to ``benchmarks/results/``;
+``scripts/check_bench_schema.py`` validates those artifacts.  This test
+drives the script's own logic against freshly generated documents (it
+does not depend on the benches having run), so the guard itself is
+exercised on every tier-1 run: a valid live snapshot passes, a
+deliberately corrupted one is rejected, and a directory with no results
+is not an error.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs import MetricsRegistry
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_schema.py"
+
+
+def make_snapshot() -> dict:
+    registry = MetricsRegistry()
+    registry.counter("gate.calls").inc(3)
+    registry.gauge("io.buffer.queued").set(2)
+    registry.histogram("pc.fault_latency").observe(41)
+    return registry.snapshot()
+
+
+def run_script(results_dir: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(results_dir)],
+        capture_output=True, text=True,
+    )
+
+
+class TestCheckBenchSchema:
+    def test_valid_export_passes(self, tmp_path):
+        doc = make_snapshot()
+        doc["bench"] = {"derived": 7}
+        (tmp_path / "e4.json").write_text(json.dumps(doc))
+        proc = run_script(tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "e4.json: ok" in proc.stdout
+
+    def test_corrupted_export_fails(self, tmp_path):
+        doc = make_snapshot()
+        doc["schema_version"] = 999          # drifted schema
+        del doc["counters"]                  # missing section
+        (tmp_path / "bad.json").write_text(json.dumps(doc))
+        proc = run_script(tmp_path)
+        assert proc.returncode == 1
+        assert "bad.json" in proc.stdout
+
+    def test_unparseable_json_fails(self, tmp_path):
+        (tmp_path / "junk.json").write_text("{not json")
+        proc = run_script(tmp_path)
+        assert proc.returncode == 1
+        assert "unreadable" in proc.stdout
+
+    def test_no_results_is_not_an_error(self, tmp_path):
+        proc = run_script(tmp_path / "never_created")
+        assert proc.returncode == 0
+        assert "no result files" in proc.stdout
+
+    def test_mixed_results_report_each_file(self, tmp_path):
+        (tmp_path / "good.json").write_text(json.dumps(make_snapshot()))
+        (tmp_path / "bad.json").write_text(json.dumps({"schema": "wrong"}))
+        proc = run_script(tmp_path)
+        assert proc.returncode == 1
+        assert "good.json: ok" in proc.stdout
+        assert "bad.json" in proc.stdout

@@ -312,3 +312,65 @@ class TestInterruptDispatch:
         assert ic.pending_count == 2
         ic.unmask()
         assert seen == [1, 2]
+
+
+class TestInfiniteBufferPageAccounting:
+    def test_one_message_per_page_regression(self):
+        """Regression: with ``messages_per_page == 1`` every put needs a
+        fresh page.  The old modulo test (``len % 1 == 1``) never fired,
+        so the buffer reported zero pages however much it grew."""
+        grown = []
+        buf = InfiniteVMBuffer(
+            messages_per_page=1, page_hook=lambda: grown.append(1)
+        )
+        for i in range(5):
+            buf.put(i)
+        assert buf.pages_allocated == 5
+        assert len(grown) == 5
+
+    @given(st.integers(min_value=1, max_value=9), st.integers(min_value=0, max_value=60))
+    def test_pages_match_ceiling_of_census(self, per_page, n):
+        buf = InfiniteVMBuffer(messages_per_page=per_page)
+        for i in range(n):
+            buf.put(i)
+        assert buf.pages_allocated == -(-n // per_page)
+
+
+class TestBufferStatsInvariants:
+    """Every message is accounted for: ``puts == gets + queued +
+    overwrites`` for both designs, across the E6-style traffic sweep."""
+
+    def drive(self, buffer, burst_size, drain):
+        sim = Simulator()
+        ic = InterruptController(sim.clock)
+        net = NetworkAttachment(sim, ic, line=6, buffer=buffer)
+        pattern = TrafficPattern(
+            burst_size=burst_size, burst_gap=5, n_bursts=4
+        )
+        pattern.schedule_into(net)
+        sim.run()
+        for _ in range(drain):
+            net.receive()
+        return net
+
+    @pytest.mark.parametrize("burst_size", [2, 8, 32])
+    def test_invariant_circular(self, burst_size):
+        buf = CircularBuffer(16)
+        self.drive(buf, burst_size, drain=burst_size)
+        s = buf.stats
+        assert s.puts == s.gets + len(buf) + s.overwrites
+
+    @pytest.mark.parametrize("burst_size", [2, 8, 64])
+    def test_invariant_infinite_no_loss_under_laps(self, burst_size):
+        """Bursts far beyond any ring capacity: the VM buffer loses
+        nothing and the books still balance exactly."""
+        buf = InfiniteVMBuffer(messages_per_page=4)
+        net = self.drive(buf, burst_size, drain=burst_size)
+        s = buf.stats
+        assert buf.lost == 0
+        assert s.overwrites == 0
+        assert s.puts == s.gets + len(buf)
+        while net.receive() is not None:
+            pass
+        assert buf.stats.gets == buf.stats.puts
+        assert len(buf) == 0

@@ -1,0 +1,242 @@
+"""Tests for the observability plane (repro.obs): the metrics
+registry, the tracer, snapshot validation, and the end-to-end wiring
+through a live system."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.faults.harness import harness_config, standard_workload
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.hw.clock import Clock
+from repro.obs import (
+    NULL_TRACER,
+    SCHEMA,
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    Tracer,
+    validate_snapshot,
+)
+from repro.system import MulticsSystem
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b", "doc")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a.b", "doc").inc(-1)
+
+    def test_name_validation(self):
+        reg = MetricsRegistry()
+        for bad in ("nodots", "Upper.case", "a..b", "a.b-c", ".a.b", "a.b."):
+            with pytest.raises(ValueError):
+                reg.counter(bad, "doc")
+
+    def test_source_callable_wins_over_stored_value(self):
+        reg = MetricsRegistry()
+        box = {"n": 0}
+        c = reg.counter("a.b", "doc", source=lambda: box["n"])
+        box["n"] = 7
+        assert c.value == 7
+
+    def test_reregistration_rebinds_source(self):
+        """Latest owner wins — a rebuilt component takes over its names."""
+        reg = MetricsRegistry()
+        reg.counter("a.b", "doc", source=lambda: 1)
+        c = reg.counter("a.b", "doc", source=lambda: 2)
+        assert c.value == 2
+        assert reg.names().count("a.b") == 1
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", "doc")
+        with pytest.raises(ValueError):
+            reg.gauge("a.b", "doc")
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g.x", "doc")
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h.x", "doc")
+        assert h.mean == 0.0
+        for v in (2, 4, 6):
+            h.observe(v)
+        s = h.summary()
+        assert s == {"count": 3, "sum": 12, "min": 2, "max": 6, "mean": 4.0}
+
+    def test_snapshot_stamps_clock(self):
+        clock = Clock()
+        reg = MetricsRegistry(clock=clock)
+        reg.counter("a.b", "doc").inc(2)
+        clock.advance(99)
+        snap = reg.snapshot()
+        assert snap["schema"] == SCHEMA
+        assert snap["schema_version"] == SCHEMA_VERSION
+        assert snap["clock"] == 99
+        assert snap["counters"]["a.b"] == 2
+
+    def test_snapshot_without_clock(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap["clock"] is None
+
+    def test_to_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", "doc").inc()
+        reg.gauge("g.x", "doc").set(5)
+        reg.histogram("h.x", "doc").observe(1)
+        doc = json.loads(reg.to_json())
+        assert validate_snapshot(doc) == []
+
+    def test_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b", "doc")
+        before = reg.snapshot()
+        c.inc(10)
+        reg.counter("c.d", "doc").inc(3)
+        after = reg.snapshot()
+        diff = MetricsRegistry.delta(before, after)
+        assert diff == {"a.b": 10, "c.d": 3}
+
+    def test_validate_snapshot_flags_violations(self):
+        good = MetricsRegistry().snapshot()
+        assert validate_snapshot(good) == []
+        assert validate_snapshot({"schema": "wrong"})  # non-empty
+        bad = MetricsRegistry().snapshot()
+        bad["counters"] = {"a.b": "nan"}
+        assert validate_snapshot(bad)
+        bad2 = MetricsRegistry().snapshot()
+        bad2["histograms"] = {"h.x": {"count": 1}}  # missing keys
+        assert validate_snapshot(bad2)
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(clock=None, enabled=False)
+        sid = t.begin("gate", gate="x")
+        assert sid == -1
+        t.end(sid)
+        t.point("ring_crossing")
+        assert t.spans == []
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_enabled_spans_carry_clock_and_attrs(self):
+        clock = Clock()
+        t = Tracer(clock, enabled=True)
+        sid = t.begin("gate", gate="hcs_$initiate")
+        clock.advance(40)
+        t.end(sid, outcome="granted")
+        (span,) = t.spans
+        assert span.name == "gate"
+        assert span.start == 0 and span.end == 40
+        assert span.duration == 40
+        assert span.attrs["gate"] == "hcs_$initiate"
+        assert span.attrs["outcome"] == "granted"
+
+    def test_point_is_zero_duration(self):
+        clock = Clock()
+        clock.advance(5)
+        t = Tracer(clock, enabled=True)
+        t.point("ring_crossing", from_ring=4, to_ring=0)
+        (span,) = t.spans
+        assert span.start == span.end == 5
+        assert span.duration == 0
+
+    def test_by_name_and_counts(self):
+        t = Tracer(Clock(), enabled=True)
+        t.point("a")
+        t.point("a")
+        t.point("b")
+        assert len(t.by_name("a")) == 2
+        assert t.counts() == {"a": 2, "b": 1}
+
+    def test_to_dicts(self):
+        t = Tracer(Clock(), enabled=True)
+        t.point("a", k=1)
+        (d,) = t.to_dicts()
+        assert d["name"] == "a" and d["attrs"] == {"k": 1}
+
+    def test_clear_and_disable(self):
+        t = Tracer(Clock(), enabled=True)
+        t.point("a")
+        t.clear()
+        assert t.spans == []
+        t.disable()
+        assert t.begin("a") == -1
+
+
+class TestSystemWiring:
+    """The obs plane threaded through a whole live system."""
+
+    def make_traced_system(self):
+        plan = FaultPlan(
+            [FaultSpec("memory.transfer", "transfer_error", at_ops=(2,))],
+            seed=3,
+        )
+        config = harness_config(fault_plan=plan, tracing=True)
+        system = MulticsSystem(config).boot()
+        system.register_user("Alice", "Crypto", "alice-pw")
+        system.register_user("Eve", "Spies", "eve-pw")
+        return system
+
+    def test_tracing_captures_all_span_kinds(self):
+        system = self.make_traced_system()
+        standard_workload(system, tag="t")
+        counts = system.tracer.counts()
+        assert counts.get("gate", 0) > 0
+        assert counts.get("ring_crossing", 0) > 0
+        assert counts.get("page_fault", 0) > 0
+        assert counts.get("interrupt", 0) > 0
+        assert counts.get("retry", 0) > 0
+
+    def test_tracing_disabled_by_default_and_costless(self):
+        config = harness_config()
+        assert config.tracing is False
+        system = MulticsSystem(config).boot()
+        system.register_user("Alice", "Crypto", "alice-pw")
+        system.register_user("Eve", "Spies", "eve-pw")
+        standard_workload(system, tag="d")
+        assert system.tracer.spans == []
+
+    def test_registry_snapshot_reflects_activity(self):
+        system = self.make_traced_system()
+        standard_workload(system, tag="s")
+        snap = system.metrics.snapshot()
+        assert validate_snapshot(snap) == []
+        c = snap["counters"]
+        assert c["gate.calls"] > 0
+        assert c["gate.cycles"] > 0
+        assert c["pc.faults_serviced"] > 0
+        assert c["mem.transfers"] > 0
+        assert c["intr.delivered"] > 0
+        assert c["io.buffer.puts"] >= 3
+        assert c["faults.injected"] >= 1
+        assert c["faults.recovered"] >= 1
+        assert snap["histograms"]["faults.recovery_ticks"]["count"] >= 1
+        assert snap["clock"] == system.clock.now
+
+    def test_identical_simulated_cycles_traced_or_not(self):
+        """Tracing must not perturb the simulation: same workload, same
+        seed, same simulated clock with the tracer on or off."""
+        clocks = {}
+        for tracing in (False, True):
+            config = harness_config(tracing=tracing)
+            system = MulticsSystem(config).boot()
+            system.register_user("Alice", "Crypto", "alice-pw")
+            system.register_user("Eve", "Spies", "eve-pw")
+            standard_workload(system, tag="z")
+            clocks[tracing] = system.clock.now
+        assert clocks[False] == clocks[True]

@@ -370,3 +370,82 @@ class TestStructuralClaims:
             elif isinstance(node, ast.ImportFrom) and node.module:
                 imported.add(node.module)
         assert not any(m.startswith(("repro.vm", "repro.fs")) for m in imported)
+
+
+class TestAdvisorRobustness:
+    def test_raising_advisor_falls_back_to_fifo(self, config):
+        """A dispatch advisor that raises must not wedge the scheduler:
+        dispatch falls back to FIFO and the failure is counted."""
+        tc = TrafficController(Simulator(), config)
+
+        def bad_advisor(ready):
+            raise RuntimeError("policy bug")
+
+        tc.dispatch_advisor = bad_advisor
+        order = []
+
+        def body(name):
+            def gen(proc):
+                order.append(name)
+                yield Charge(1)
+
+            return gen
+
+        def busy(proc):
+            yield Charge(10)
+
+        # Occupy the processor so two user processes queue up; only
+        # then is the advisor consulted (len(ready) > 1).
+        tc.add_process(Process("busy", body=busy))
+        tc.add_process(Process("a", body=body("a")))
+        tc.add_process(Process("b", body=body("b")))
+        run(tc)
+        assert order == ["a", "b"]  # FIFO despite the broken advisor
+        assert tc.advisor_failures > 0
+        assert all(p.state is ProcessState.STOPPED for p in tc.processes)
+
+    def test_advisor_failure_counter_starts_at_zero(self, config):
+        tc = TrafficController(Simulator(), config)
+        assert tc.advisor_failures == 0
+
+
+class TestVpWaitFifo:
+    def test_vp_wait_fifo_across_block_unblock(self, config):
+        """Re-admitted blockers queue *behind* processes already waiting
+        for a virtual processor, in wakeup order — no queue jumping
+        across block/unblock cycles."""
+        config.n_virtual_processors = 2
+        config.n_processors = 1
+        config.quantum = 100
+        tc = TrafficController(Simulator(), config)
+        ran = []
+        ch0 = tc.create_channel("p0.wake")
+        ch1 = tc.create_channel("p1.wake")
+
+        def blocker(name, ch):
+            def gen(proc):
+                yield Charge(1)
+                yield Block(ch)
+                ran.append(name)
+                yield Charge(1)
+
+            return gen
+
+        def hog(name):
+            def gen(proc):
+                ran.append(name)
+                yield Charge(50)
+
+            return gen
+
+        tc.add_process(Process("p0", body=blocker("p0", ch0)))
+        tc.add_process(Process("p1", body=blocker("p1", ch1)))
+        for i in range(4):
+            tc.add_process(Process(f"w{i}", body=hog(f"w{i}")))
+        # Wake the blockers while w0/w1 still hold both VPs: p1 and p0
+        # must park behind w2 and w3, in wakeup order.
+        tc.sim.schedule(10, lambda: tc.send_wakeup(ch1))
+        tc.sim.schedule(11, lambda: tc.send_wakeup(ch0))
+        run(tc)
+        assert ran == ["w0", "w1", "w2", "w3", "p1", "p0"]
+        assert all(p.state is ProcessState.STOPPED for p in tc.processes)
