@@ -14,6 +14,14 @@ import pytest
 
 _REPORTS: dict[str, list[str]] = {}
 
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so
+    tier-1 runs (testpaths = tests) and explicit ``-m "not bench"``
+    selections stay fast without per-file boilerplate."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 #: Where benches export their metrics snapshots as JSON.  The schema
 #: guard (scripts/check_bench_schema.py) validates everything here.
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"

@@ -1,0 +1,175 @@
+"""E15 — the 6180 associative memory: what makes checking *every*
+reference affordable.
+
+The paper's protection argument needs the hardware to evaluate SDW
+access, ring brackets, bounds, and PTW residence on every single
+reference.  The 6180 could afford that only because small associative
+memories short-circuited the full descriptor walk for recently used
+translations.  This bench measures the simulated AM (repro.hw.assoc)
+three ways:
+
+* **hit rate** on a locality workload (a loop re-referencing a small
+  working set) — the cache must absorb >= 90% of the checks;
+* **cost**: the same workload with the AM off must charge more
+  simulated cycles *and* take more wall-clock time;
+* **equivalence**: architectural results (values computed, values
+  read, page faults serviced) must be identical with the AM on or off
+  — the cache may change cost, never outcomes — including under
+  memory pressure, where eviction-driven invalidation is what keeps
+  the cache honest.
+"""
+
+import time
+
+from repro import MulticsSystem, kernel_config
+from repro.hw.cpu import Instruction as I, Op
+from repro.obs import MetricsRegistry
+from repro.user.object_format import ObjectSegment
+
+#: Distinct data offsets the locality loop re-reads (spread over both
+#: pages of the data segment) and how many times it loops over them.
+ITERS = 150
+WALL_REPEATS = 5
+
+
+def _build(am_enabled: bool, **overrides):
+    system = MulticsSystem(
+        kernel_config(am_enabled=am_enabled, **overrides)
+    ).boot()
+    system.register_user("Alice", "Crypto", "pw")
+    return system, system.login("Alice", "Crypto", "pw")
+
+
+def _locality_program(data_segno: int, offsets: list[int],
+                      iters: int) -> ObjectSegment:
+    """Loop ``iters`` times reading each of ``offsets``; returns the
+    word at ``offsets[0]``."""
+    code = [I(Op.PUSHI, iters), I(Op.STOREF, 0)]
+    loop = len(code)
+    for off in offsets:
+        code += [I(Op.LOAD, data_segno, off), I(Op.POP)]
+    code += [
+        I(Op.LOADF, 0), I(Op.PUSHI, 1), I(Op.SUB),
+        I(Op.DUP), I(Op.STOREF, 0), I(Op.JNZ, loop),
+    ]
+    code += [I(Op.LOAD, data_segno, offsets[0]), I(Op.RET)]
+    return ObjectSegment("locality", code=code, definitions={"main": 0})
+
+
+def _locality_workload(am_enabled: bool):
+    """The measured section: a CPU-driven locality loop plus a kernel
+    word-I/O streaming pass over the same data."""
+    system, session = _build(am_enabled)
+    page_size = system.config.page_size
+    data_segno = session.create_segment("data", n_pages=2)
+    pattern = [(7 * i + 3) % 512 for i in range(2 * page_size)]
+    session.write_words(data_segno, pattern)
+    offsets = [(i * (2 * page_size)) // 8 for i in range(8)]
+    prog_segno = session.install_object(
+        "locality", _locality_program(data_segno, offsets, ITERS)
+    )
+    session.load_program(prog_segno)
+    entry = session.process.code_segments[prog_segno].entry_points["main"]
+
+    before = system.metrics.snapshot()
+    best_wall = float("inf")
+    first_cycles = None
+    value = None
+    io_words = None
+    for _ in range(WALL_REPEATS):
+        t0 = time.perf_counter()
+        cpu = session.make_cpu()
+        value = cpu.execute(session.process, prog_segno, entry)
+        io_words = session.read_words(data_segno, 2 * page_size)
+        best_wall = min(best_wall, time.perf_counter() - t0)
+        if first_cycles is None:
+            first_cycles = cpu.cycles
+    delta = MetricsRegistry.delta(before, system.metrics.snapshot())
+
+    hits = delta.get("am.hits", 0)
+    misses = delta.get("am.misses", 0)
+    return {
+        "value": value,
+        "io_words": io_words,
+        "faults": delta["pc.faults_serviced"],
+        "cycles": first_cycles,
+        "wall": best_wall,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "system": system,
+    }
+
+
+def _paging_workload(am_enabled: bool):
+    """Sweep a segment three times larger than core, three passes: the
+    AM is useless here (every reference re-faults eventually) but must
+    stay *correct* — eviction-driven invalidation, identical faults."""
+    system, session = _build(
+        am_enabled,
+        core_frames=8, bulk_frames=16, disk_frames=512, page_size=16,
+    )
+    seg = session.create_segment("big", n_pages=24)
+    n = 24 * 16
+    session.write_words(seg, [(3 * i) % 128 for i in range(n)])
+    passes = [session.read_words(seg, n) for _ in range(3)]
+    snap = system.metrics.snapshot()
+    return {
+        "passes": passes,
+        "faults": snap["counters"]["pc.faults_serviced"],
+        "invalidations": snap["counters"]["am.invalidations"],
+        "snapshot": snap,
+    }
+
+
+def test_e15_associative_memory(report, export):
+    on = _locality_workload(am_enabled=True)
+    off = _locality_workload(am_enabled=False)
+
+    # Architectural equivalence: the cache changes cost, not outcomes.
+    assert on["value"] == off["value"]
+    assert on["io_words"] == off["io_words"]
+    assert on["faults"] == off["faults"]
+
+    # The cache absorbs the overwhelming majority of checks...
+    assert on["hit_rate"] >= 0.90
+    assert off["hits"] == 0  # the off configuration never consults it
+
+    # ...and that is visible in both cost models.
+    assert on["cycles"] < off["cycles"]
+    assert on["wall"] < off["wall"]
+
+    pag_on = _paging_workload(am_enabled=True)
+    pag_off = _paging_workload(am_enabled=False)
+    assert pag_on["passes"] == pag_off["passes"]
+    assert pag_on["faults"] == pag_off["faults"]
+    # Under pressure the correctness mechanism is invalidation: every
+    # eviction cams the page's cached translations, everywhere.
+    assert pag_on["invalidations"] > 0
+
+    export("E15", on["system"].metrics.snapshot(), extra={
+        "hit_rate": round(on["hit_rate"], 4),
+        "am_hits": on["hits"],
+        "am_misses": on["misses"],
+        "cycles_am_on": on["cycles"],
+        "cycles_am_off": off["cycles"],
+        "wall_seconds_am_on": on["wall"],
+        "wall_seconds_am_off": off["wall"],
+        "paging_faults": pag_on["faults"],
+        "paging_invalidations": pag_on["invalidations"],
+    })
+
+    speedup_c = off["cycles"] / on["cycles"]
+    speedup_w = off["wall"] / on["wall"]
+    report("E15", [
+        "E15: associative memory (checking every reference, affordably)",
+        f"  AM hit rate on locality workload       {on['hit_rate'] * 100:>7.1f}%",
+        f"  simulated cycles, AM on                {on['cycles']:>8}",
+        f"  simulated cycles, AM off               {off['cycles']:>8}"
+        f"   ({speedup_c:.2f}x)",
+        f"  best wall-clock, AM on  (ms)           {on['wall'] * 1e3:>8.2f}",
+        f"  best wall-clock, AM off (ms)           {off['wall'] * 1e3:>8.2f}"
+        f"   ({speedup_w:.2f}x)",
+        f"  paging sweep faults (on == off)        {pag_on['faults']:>8}",
+        f"  paging sweep invalidations             {pag_on['invalidations']:>8}",
+    ])

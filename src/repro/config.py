@@ -99,6 +99,14 @@ class CostModel:
     cross_ring_penalty_6180: int = 0
     #: Primary memory (core) access.
     core_access: int = 1
+    #: Full address-translation walk: fetch the SDW from the descriptor
+    #: segment, evaluate access and brackets, fetch the PTW.
+    translate_walk: int = 3
+    #: Translation resolved by the associative memory (one associative
+    #: search; on the 6180 this was effectively free relative to the
+    #: walk, and that ratio is what makes checking every reference
+    #: affordable).
+    am_hit: int = 1
     #: Transfer of one page between core and the bulk store.
     bulk_transfer: int = 200
     #: Transfer of one page between core and disk.
@@ -148,6 +156,14 @@ class SystemConfig:
     #: reintroduces the classic "residue" security flaw, used by the
     #: penetration benches.
     clear_freed_frames: bool = True
+
+    #: Whether references consult the per-process associative memory
+    #: (the 6180 SDW/PTW AM, repro.hw.assoc).  Off re-walks the full
+    #: check chain on every reference; architectural results (faults,
+    #: values, denials) are identical either way — only cost changes.
+    am_enabled: bool = True
+    #: Entries per associative memory (bounded LRU).
+    am_entries: int = 64
 
     #: Optional deterministic fault-injection plan (repro.faults.plan).
     #: None means the hardware never fails — the seed behaviour.
@@ -201,3 +217,6 @@ class SystemConfig:
             raise ValueError("device_timeout_factor must exceed 1")
         if self.frame_retire_threshold <= 0:
             raise ValueError("frame_retire_threshold must be positive")
+        if self.am_entries <= 0:
+            raise ValueError("am_entries must be positive (use am_enabled "
+                             "to turn the associative memory off)")

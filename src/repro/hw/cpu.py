@@ -30,7 +30,12 @@ from repro.config import CostModel, RingMode
 from repro.errors import IllegalInstruction, MissingPageFault, ReproError
 from repro.hw.memory import MemoryLevel
 from repro.hw.rings import call_check, call_cost
-from repro.hw.segmentation import DescriptorSegment, Intent, translate
+from repro.hw.segmentation import (
+    DescriptorSegment,
+    Intent,
+    check_access,
+    translate,
+)
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 
 
@@ -156,6 +161,7 @@ class CPU:
         on_linkage_fault: Callable[[MachineContext, int], None] | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        am_enabled: bool = True,
     ) -> None:
         self.core = core
         self.costs = costs
@@ -164,6 +170,9 @@ class CPU:
         self.on_missing_page = on_missing_page
         self.on_linkage_fault = on_linkage_fault
         self.tracer = tracer or NULL_TRACER
+        #: Consult the executing context's associative memory
+        #: (ctx.dseg.am) on every reference and instruction fetch.
+        self.am_enabled = am_enabled
         self.cycles = 0
         #: Counters for the benches.
         self.calls_in_ring = 0
@@ -181,27 +190,41 @@ class CPU:
 
     # -- memory helpers ---------------------------------------------------
 
-    def _read(self, ctx: MachineContext, segno: int, offset: int) -> int:
+    def _translate(self, ctx: MachineContext, segno: int, offset: int,
+                   intent: Intent) -> tuple[int, int]:
+        """One checked reference, with page faults serviced and the
+        translation cost (AM hit vs full walk) charged."""
+        am = ctx.dseg.am if self.am_enabled else None
         while True:
             try:
-                frame, word = translate(
-                    ctx.dseg, segno, offset, ctx.ring, Intent.READ, self.page_size
+                if am is None:
+                    located = translate(
+                        ctx.dseg, segno, offset, ctx.ring, intent,
+                        self.page_size,
+                    )
+                    self.cycles += self.costs.translate_walk
+                    return located
+                hits_before = am.hits
+                located = translate(
+                    ctx.dseg, segno, offset, ctx.ring, intent,
+                    self.page_size, am=am,
                 )
-                break
+                self.cycles += (
+                    self.costs.am_hit if am.hits != hits_before
+                    else self.costs.translate_walk
+                )
+                return located
             except MissingPageFault as fault:
+                self.cycles += self.costs.translate_walk
                 self._service_page_fault(ctx, fault)
+
+    def _read(self, ctx: MachineContext, segno: int, offset: int) -> int:
+        frame, word = self._translate(ctx, segno, offset, Intent.READ)
         self.cycles += self.costs.core_access
         return self.core.read(frame, word)
 
     def _write(self, ctx: MachineContext, segno: int, offset: int, value: int) -> None:
-        while True:
-            try:
-                frame, word = translate(
-                    ctx.dseg, segno, offset, ctx.ring, Intent.WRITE, self.page_size
-                )
-                break
-            except MissingPageFault as fault:
-                self._service_page_fault(ctx, fault)
+        frame, word = self._translate(ctx, segno, offset, Intent.WRITE)
         self.cycles += self.costs.core_access
         self.core.write(frame, word, value)
 
@@ -243,6 +266,7 @@ class CPU:
         ctx.ring = new_ring
         pc = entry
         executed = 0
+        am = ctx.dseg.am if self.am_enabled else None
 
         while True:
             if executed >= max_instructions:
@@ -254,9 +278,17 @@ class CPU:
                     f"pc {pc} outside code segment {segno}"
                 )
             # Instruction fetch check: the executing ring must still be
-            # allowed to execute this segment.
-            from repro.hw.segmentation import check_access  # local to avoid cycle
-            check_access(ctx.dseg.get(segno), ctx.ring, Intent.FETCH)
+            # allowed to execute this segment.  The AM caches the
+            # decision per (segno, ring); every invalidation that could
+            # change it (SDW swap, revocation, teardown) clears it.
+            if am is not None and am.fetch_probe(segno, ctx.ring):
+                self.cycles += self.costs.am_hit
+            else:
+                sdw = ctx.dseg.get(segno)
+                check_access(sdw, ctx.ring, Intent.FETCH)
+                self.cycles += self.costs.translate_walk
+                if am is not None:
+                    am.fetch_insert(segno, ctx.ring, sdw.uid)
 
             inst = code.instructions[pc]
             pc += 1

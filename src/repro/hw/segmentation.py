@@ -26,6 +26,7 @@ from repro.errors import (
     MissingPageFault,
     SegmentFault,
 )
+from repro.hw.assoc import AssociativeMemory
 from repro.hw.rings import RingBrackets
 
 
@@ -125,21 +126,30 @@ class SDW:
 
 
 class DescriptorSegment:
-    """The per-process table mapping segment numbers to SDWs."""
+    """The per-process table mapping segment numbers to SDWs.
+
+    Carries the process's associative memory: cached results of
+    :func:`translate` over these SDWs.  Changing the table fires the
+    selective ``cam`` so no cached translation outlives its SDW.
+    """
 
     def __init__(self) -> None:
         self._sdws: dict[int, SDW] = {}
+        self.am = AssociativeMemory()
 
     def add(self, sdw: SDW) -> None:
         if sdw.segno in self._sdws:
             raise ValueError(f"segment number {sdw.segno} already in use")
         self._sdws[sdw.segno] = sdw
+        self.am.invalidate_segno(sdw.segno)
 
     def remove(self, segno: int) -> SDW:
         try:
-            return self._sdws.pop(segno)
+            sdw = self._sdws.pop(segno)
         except KeyError:
             raise SegmentFault(segno, f"segment {segno} not in address space") from None
+        self.am.invalidate_segno(segno)
+        return sdw
 
     def get(self, segno: int) -> SDW:
         try:
@@ -205,23 +215,43 @@ def translate(
     ring: int,
     intent: Intent,
     page_size: int,
+    am: AssociativeMemory | None = None,
 ) -> tuple[int, int]:
     """Full address translation; returns ``(core_frame, word_offset)``.
 
     Raises the appropriate hardware fault when translation cannot
     complete.  Marks the PTW used (and modified, for writes) on success.
+
+    With ``am`` (normally ``dseg.am``), a previously checked
+    ``(segno, pageno, ring, intent)`` short-circuits the SDW walk and
+    access computation to the cached frame — the 6180 associative
+    memory.  A hit still marks the PTW bits, so replacement sampling is
+    identical with the cache on or off, and the offset stays bounded by
+    the cached SDW bound (see :mod:`repro.hw.assoc` for the
+    invalidation contract that keeps the cache honest).
     """
+    pageno = offset // page_size
+    if am is not None:
+        hit = am.probe(segno, pageno, ring, intent, offset)
+        if hit is not None:
+            frame, ptw = hit
+            ptw.used = True
+            if intent is Intent.WRITE:
+                ptw.modified = True
+            return frame, offset - pageno * page_size
     sdw = dseg.get(segno)
     if offset < 0 or offset >= sdw.bound:
         raise BoundsViolation(
             f"offset {offset} outside bound {sdw.bound} of segment {segno}"
         )
     check_access(sdw, ring, intent)
-    pageno = offset // page_size
     ptw = sdw.page_table[pageno]
     if not ptw.in_core or ptw.frame is None:
         raise MissingPageFault(segno, pageno)
     ptw.used = True
     if intent is Intent.WRITE:
         ptw.modified = True
+    if am is not None:
+        am.insert(segno, pageno, ring, intent, ptw.frame, ptw,
+                  sdw.bound, sdw.uid)
     return ptw.frame, offset % page_size

@@ -190,6 +190,10 @@ def h_acl_add(services, process, dir_segno, name, pattern, mode):
     branch = directory.get(name)
     _modify_branch_acl_check(services, process, directory, branch)
     branch.acl.add(pattern, mode)
+    # An ACL change (including a downgrade) must reach every live SDW
+    # for the segment, or processes that initiated it earlier keep the
+    # old hardware rights.
+    services.revoke_branch_access(branch)
     return len(branch.acl)
 
 
@@ -199,6 +203,7 @@ def h_acl_delete(services, process, dir_segno, name, pattern):
     _modify_branch_acl_check(services, process, directory, branch)
     if not branch.acl.remove(pattern):
         raise NoSuchEntry(f"no acl entry {pattern!r} on {name!r}")
+    services.revoke_branch_access(branch)
     return len(branch.acl)
 
 
@@ -249,6 +254,7 @@ def h_set_ring_brackets(services, process, dir_segno, name, r1, r2, r3):
             "cannot grant a write bracket more privileged than the caller"
         )
     branch.brackets = brackets
+    services.revoke_branch_access(branch)
     return (r1, r2, r3)
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.config import SupervisorKind, SystemConfig
-from repro.errors import NoSuchEntry
+from repro.errors import MissingPageFault, NoSuchEntry
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RetryPolicy, retry_call
 from repro.fs.acl import Acl
@@ -25,6 +25,7 @@ from repro.fs.uid_layer import UidFileSystem
 from repro.hw.clock import Simulator
 from repro.hw.interrupts import InterruptController
 from repro.hw.memory import MemoryHierarchy
+from repro.hw.segmentation import Intent, translate
 from repro.obs import MetricsRegistry, Tracer
 from repro.proc.scheduler import TrafficController
 from repro.security.audit import AuditLog
@@ -125,6 +126,13 @@ class KernelServices:
         self._build_io()
         #: Kernel-side per-process state, keyed by pid.
         self._pstate: dict[int, ProcessKernelState] = {}
+        #: Every process the kernel has seen (pid -> Process): the scope
+        #: of SDW revocation and of the aggregated am.* metrics.
+        self._procs: dict[int, "Process"] = {}
+        #: Associative-memory counters of already-destroyed processes,
+        #: folded in so the aggregate counters stay monotonic.
+        self._am_retired = {"hits": 0, "misses": 0, "invalidations": 0,
+                            "cams": 0}
         #: The kernel's user registry (person -> record).
         self.users: dict[str, UserRecord] = {}
         #: Processes created through hcs_$proc_create, keyed by pid.
@@ -142,6 +150,34 @@ class KernelServices:
             "kernel.supervisor_incidents",
             "exceptions absorbed at the gate boundary",
             source=lambda: self.supervisor_incidents,
+        )
+        self.metrics.counter(
+            "am.hits", "translations resolved by the associative memory",
+            source=self._am_sum("hits"),
+        )
+        self.metrics.counter(
+            "am.misses", "references that walked the full check chain",
+            source=self._am_sum("misses"),
+        )
+        self.metrics.counter(
+            "am.invalidations", "AM entries cleared by cam events",
+            source=self._am_sum("invalidations"),
+        )
+        self.metrics.counter(
+            "am.cams", "full clear-associative-memory operations",
+            source=self._am_sum("cams"),
+        )
+        self.metrics.gauge(
+            "am.entries", "cached translations across live processes",
+            source=lambda: sum(
+                len(p.dseg.am) for p in self._procs.values()
+            ),
+        )
+
+    def _am_sum(self, attr: str):
+        """Aggregate one AM counter over live and retired processes."""
+        return lambda: self._am_retired[attr] + sum(
+            getattr(p.dseg.am, attr) for p in self._procs.values()
         )
 
     def _build_io(self) -> None:
@@ -214,10 +250,52 @@ class KernelServices:
         if state is None:
             state = ProcessKernelState()
             self._pstate[process.pid] = state
+            self._track(process)
         return state
+
+    def _track(self, process: "Process") -> None:
+        """Register a process for SDW revocation and am.* aggregation."""
+        if process.pid not in self._procs:
+            self._procs[process.pid] = process
+            process.dseg.am.capacity = self.config.am_entries
 
     def drop_pstate(self, process: "Process") -> None:
         self._pstate.pop(process.pid, None)
+        tracked = self._procs.pop(process.pid, None)
+        if tracked is not None:
+            # Address-space teardown: fire cam so nothing cached for
+            # this descriptor segment can ever be honoured again, then
+            # fold the counters so the aggregates stay monotonic.
+            am = tracked.dseg.am
+            am.cam()
+            for attr in self._am_retired:
+                self._am_retired[attr] += getattr(am, attr)
+
+    def revoke_branch_access(self, branch) -> int:
+        """Propagate an ACL or brackets change to every live SDW of the
+        branch's segment (the Multics ``setfaults`` sweep over the AST
+        trailer).
+
+        Hardware enforces whatever the SDW says, so a revocation that
+        stopped at the ACL would leave processes that initiated the
+        segment earlier running on the old rights.  Each affected SDW
+        is rewritten to the monitor's current verdict and its cached
+        translations are cammed; returns the number of SDWs updated.
+        """
+        touched = 0
+        for process in self._procs.values():
+            for sdw in process.dseg:
+                if sdw.uid != branch.uid:
+                    continue
+                if process.principal is not None:
+                    sdw.access = self.monitor.sdw_mode(
+                        process.principal, branch
+                    )
+                sdw.brackets = branch.brackets
+                process.dseg.am.invalidate_segno(sdw.segno)
+                touched += 1
+                break
+        return touched
 
     # -- hardware-mediated data access ---------------------------------------
     #
@@ -228,14 +306,13 @@ class KernelServices:
     # buffers *with the caller's access rights*, never its own.
 
     def read_word(self, process: "Process", segno: int, offset: int) -> int:
-        from repro.errors import MissingPageFault
-        from repro.hw.segmentation import Intent, translate
-
+        self._track(process)
+        am = process.dseg.am if self.config.am_enabled else None
         while True:
             try:
                 frame, woff = translate(
                     process.dseg, segno, offset, process.ring,
-                    Intent.READ, self.config.page_size,
+                    Intent.READ, self.config.page_size, am=am,
                 )
                 break
             except MissingPageFault as fault:
@@ -261,14 +338,13 @@ class KernelServices:
     def write_word(
         self, process: "Process", segno: int, offset: int, value: int
     ) -> None:
-        from repro.errors import MissingPageFault
-        from repro.hw.segmentation import Intent, translate
-
+        self._track(process)
+        am = process.dseg.am if self.config.am_enabled else None
         while True:
             try:
                 frame, woff = translate(
                     process.dseg, segno, offset, process.ring,
-                    Intent.WRITE, self.config.page_size,
+                    Intent.WRITE, self.config.page_size, am=am,
                 )
                 break
             except MissingPageFault as fault:

@@ -425,6 +425,7 @@ class Session:
             page_size=self.system.config.page_size,
             on_missing_page=on_missing_page,
             on_linkage_fault=on_linkage_fault,
+            am_enabled=self.system.config.am_enabled,
             metrics=services.metrics,
             tracer=services.tracer,
         )

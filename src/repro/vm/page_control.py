@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from repro.config import PageControlKind, SystemConfig
 from repro.errors import DeviceError
 from repro.faults.recovery import RetryPolicy, retry_call
+from repro.hw.assoc import cam_uid
 from repro.hw.clock import Simulator
 from repro.hw.memory import MemoryHierarchy, OutOfFrames
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
@@ -155,6 +156,9 @@ class PageControl:
         )
         aseg.homes[pageno] = None
         aseg.ptws[pageno].place(dst_frame)
+        # The page may land in a different frame than any cached
+        # translation remembers: cam it everywhere before anyone hits.
+        cam_uid(aseg.uid, pageno)
         if home.level == "bulk":
             self._bulk_census_remove(aseg, pageno)
         self.resident[(aseg.uid, pageno)] = ResidentPage(
@@ -174,6 +178,9 @@ class PageControl:
             ),
         )
         ptw.evict()
+        # Broadcast cam: every process sharing this segment must stop
+        # honouring its cached translation before the frame is reused.
+        cam_uid(rp.aseg.uid, rp.pageno)
         rp.aseg.homes[rp.pageno] = PageHome("bulk", bulk_frame)
         self._bulk_pages.append((rp.aseg, rp.pageno))
         del self.resident[(rp.aseg.uid, rp.pageno)]
@@ -233,6 +240,7 @@ class PageControl:
             self.hierarchy.disk.write_page(disk_frame, data)
             self.hierarchy.core.free(ptw.frame)
             ptw.evict()
+            cam_uid(aseg.uid, pageno)
             aseg.homes[pageno] = PageHome("disk", disk_frame)
             self.resident.pop((aseg.uid, pageno), None)
             written += 1
@@ -246,6 +254,9 @@ class PageControl:
             self.hierarchy.core.free(ptw.frame)
             ptw.evict()
             self.resident.pop((aseg.uid, pageno), None)
+        # Segment deletion invalidates everything cached for it,
+        # including fetch-legality entries.
+        cam_uid(aseg.uid)
         self._bulk_pages = [
             (seg, page) for seg, page in self._bulk_pages if seg is not aseg
         ]
