@@ -9,6 +9,14 @@ shape — and exits non-zero on any violation, so a schema drift between
 the registry and the exported artifacts fails loudly instead of
 silently feeding stale-shaped JSON to downstream tooling.
 
+Schema note: the ``meter.*`` and ``audit.*`` instruments added with the
+metering plane extend the same ``repro.obs/v1`` shape — new names in
+the existing counter/gauge tables, no version bump.  Chrome trace-event
+documents (top-level ``traceEvents``, written by
+``scripts/export_trace.py``) also live in the results directory; they
+follow a different contract and are checked with that script's
+validator instead.
+
 No result files is not an error: a fresh checkout has not run the
 benches yet.  Usage::
 
@@ -24,6 +32,7 @@ import sys
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.obs import validate_snapshot  # noqa: E402
 
@@ -34,6 +43,10 @@ def check_file(path: pathlib.Path) -> list[str]:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         return [f"unreadable: {exc}"]
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        from export_trace import validate as validate_trace
+
+        return validate_trace(path)
     errors = validate_snapshot(doc)
     # The export fixture may add one extra section of derived numbers.
     if "bench" in doc and not isinstance(doc["bench"], dict):

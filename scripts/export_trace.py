@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Export a Chrome trace-event JSON file from a traced run.
+
+Default mode runs the E5-style page-fault storm with tracing on and
+writes ``Tracer.to_chrome_trace()``'s document — load it in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` to see gate calls,
+page-fault services, ring crossings, interrupts, and retries laid out
+on one lane per simulated process.
+
+``--validate [file]`` instead round-trips a trace file through
+``json.loads`` and checks the trace-event contract every consumer
+relies on: a ``traceEvents`` list whose entries carry ``name``, ``ph``,
+``ts``, ``pid``, ``tid`` (and ``dur`` for complete "X" events).
+
+Usage::
+
+    python scripts/export_trace.py [output.json]
+    python scripts/export_trace.py --validate [trace.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+_DEFAULT_OUT = _ROOT / "benchmarks" / "results" / "trace_e5.json"
+
+#: Keys every trace event must carry; complete "X" events additionally
+#: need ts and dur (metadata "M" events carry no timestamp).
+REQUIRED_KEYS = ("name", "ph", "pid", "tid")
+
+
+def traced_storm() -> dict:
+    """Run a small traced storm on a booted system; return the trace."""
+    from repro.config import SystemConfig
+    from repro.proc.ipc import Charge
+    from repro.proc.process import Process
+    from repro.system import MulticsSystem
+
+    config = SystemConfig(
+        page_size=16, core_frames=8, bulk_frames=12, disk_frames=512,
+        n_processors=2, n_virtual_processors=16, quantum=5000,
+        tracing=True,
+    )
+    config.validate()
+    system = MulticsSystem(config).boot()
+    system.register_user("Alice", "Crypto", "alice-pw")
+    alice = system.login("Alice", "Crypto", "alice-pw")
+    services = system.services
+    segno = alice.create_segment("storm", n_pages=12)
+    aseg = services.ast.get(alice.process.dseg.get(segno).uid)
+    pc = services.page_control
+
+    def worker(proc):
+        for _sweep in range(2):
+            for page in range(12):
+                yield from pc.touch(proc, aseg, page)
+                yield Charge(40)
+
+    for i in range(4):
+        system.add_process(Process(f"w{i}", body=worker, ring=4))
+    system.run()
+    return system.tracer.to_chrome_trace()
+
+
+def validate(path: pathlib.Path) -> list[str]:
+    """Violations of the trace-event contract (empty list = valid)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        return ["document must be an object with a traceEvents list"]
+    errors = []
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if event.get("ph") == "X":
+            missing += [k for k in ("ts", "dur") if k not in event]
+        if missing:
+            errors.append(f"event {i}: missing {missing}")
+    if not any(e.get("ph") == "X" for e in doc["traceEvents"]
+               if isinstance(e, dict)):
+        errors.append("no complete (ph=X) events — empty trace?")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv[1:2] == ["--validate"]:
+        path = pathlib.Path(argv[2]) if len(argv) > 2 else _DEFAULT_OUT
+        errors = validate(path)
+        if errors:
+            for error in errors:
+                print(f"{path.name}: {error}", file=sys.stderr)
+            return 1
+        print(f"export_trace: {path} is a valid chrome trace")
+        return 0
+
+    out_path = pathlib.Path(argv[1]) if len(argv) > 1 else _DEFAULT_OUT
+    doc = traced_storm()
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=1) + "\n")
+    n_spans = sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+    n_lanes = sum(1 for e in doc["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "thread_name")
+    print(f"export_trace: wrote {out_path} "
+          f"({n_spans} events on {n_lanes} lanes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Run the dynamic benches headlessly and export ``BENCH_pr3.json``.
+"""Run the dynamic benches headlessly and export ``BENCH_pr4.json``.
 
 Collects the numbers a CI job or a reviewer wants without the pytest
-benchmark machinery: wall-clock seconds, simulated cycles, and
-associative-memory hit rates for the hot-path workloads (E4 ring
-crossings, E5 page-fault storm, E15 associative memory).  The document
-is a real metrics snapshot (schema ``repro.obs/v1``, validated before
-writing) with a ``bench`` section of derived numbers, written to
-``benchmarks/results/BENCH_pr3.json`` so
+benchmark machinery: wall-clock seconds, simulated cycles,
+associative-memory hit rates, and metering/audit attribution for the
+hot-path workloads (E4 ring crossings, E5 page-fault storm, E15
+associative memory, E16 metering & audit).  The document is a real
+metrics snapshot (schema ``repro.obs/v1``, validated before writing)
+with a ``bench`` section of derived numbers, written to
+``benchmarks/results/BENCH_pr4.json`` so
 ``scripts/check_bench_schema.py`` guards it like every other export.
+
+``--only`` selects a subset by experiment id (comma-separated) — the
+same workloads pytest selects with the ``bench`` marker
+(``pytest -m bench benchmarks/``); this runner just skips the
+collection machinery.
 
 Usage::
 
-    python scripts/run_benches.py [output.json]
+    python scripts/run_benches.py [output.json] [--only E16[,E5,...]]
 """
 
 from __future__ import annotations
@@ -35,6 +41,11 @@ from test_e15_assoc_memory import (  # noqa: E402
     _locality_workload,
     _paging_workload,
 )
+from test_e16_metering import combined_workload  # noqa: E402
+
+#: Experiment ids this runner knows, in execution order.  These are the
+#: same workloads pytest runs under the ``bench`` marker.
+BENCH_IDS = ("E4", "E5", "E15", "E16")
 
 
 def bench_e4() -> dict:
@@ -81,20 +92,83 @@ def bench_e15() -> tuple[dict, dict]:
     return derived, on["system"].metrics.snapshot()
 
 
+def bench_e16() -> tuple[dict, dict]:
+    """(derived numbers, final metrics snapshot of the metered system)."""
+    t0 = time.perf_counter()
+    system = combined_workload(metering=True)
+    unmetered = combined_workload(metering=False)
+    meters = system.meters
+    trail_doc = json.loads(system.audit_trail.to_json())
+    log_denials = sum(
+        1 for r in system.audit.records if r.outcome != "granted"
+    )
+    trail_denials = sum(
+        1 for r in trail_doc["records"] if r["decision"] != "granted"
+    )
+    derived = {
+        "wall_seconds": round(time.perf_counter() - t0, 4),
+        "coverage": round(meters.coverage(), 4),
+        "attributed_cycles": meters.attributed_cycles(),
+        "total_cycles": meters.total_cycles(),
+        "simulated_clock_metered": system.clock.now,
+        "simulated_clock_unmetered": unmetered.clock.now,
+        "log_denials": log_denials,
+        "trail_denials": trail_denials,
+        "trail_dropped": trail_doc["dropped"],
+    }
+    return derived, system.metrics.snapshot()
+
+
+def _boot_snapshot() -> dict:
+    """Fallback snapshot when no snapshot-producing bench is selected."""
+    from repro import kernel_config
+    from repro.system import MulticsSystem
+
+    return MulticsSystem(kernel_config()).boot().metrics.snapshot()
+
+
 def main(argv: list[str]) -> int:
-    default = _ROOT / "benchmarks" / "results" / "BENCH_pr3.json"
-    out_path = pathlib.Path(argv[1]) if len(argv) > 1 else default
+    args = list(argv[1:])
+    only: set[str] | None = None
+    if "--only" in args:
+        at = args.index("--only")
+        if at + 1 >= len(args):
+            print("run_benches: --only needs an id list (e.g. E16)",
+                  file=sys.stderr)
+            return 2
+        only = {part.strip().upper()
+                for part in args[at + 1].split(",") if part.strip()}
+        del args[at:at + 2]
+        unknown = only - set(BENCH_IDS)
+        if unknown:
+            print(f"run_benches: unknown bench ids {sorted(unknown)} "
+                  f"(known: {', '.join(BENCH_IDS)})", file=sys.stderr)
+            return 2
+
+    default = _ROOT / "benchmarks" / "results" / "BENCH_pr4.json"
+    out_path = pathlib.Path(args[0]) if args else default
+    selected = [b for b in BENCH_IDS if only is None or b in only]
 
     t0 = time.perf_counter()
-    e15, snapshot = bench_e15()
-    doc = dict(snapshot)
-    doc["bench"] = {
-        "e4_ring_cost": bench_e4(),
-        "e5_page_storm": bench_e5(),
-        "e15_assoc_memory": e15,
-    }
-    doc["bench"]["total_wall_seconds"] = round(time.perf_counter() - t0, 3)
+    bench: dict = {}
+    snapshot: dict | None = None
+    e15 = e16 = None
+    if "E4" in selected:
+        bench["e4_ring_cost"] = bench_e4()
+    if "E5" in selected:
+        bench["e5_page_storm"] = bench_e5()
+    if "E15" in selected:
+        e15, snapshot = bench_e15()
+        bench["e15_assoc_memory"] = e15
+    if "E16" in selected:
+        e16, snapshot = bench_e16()
+        bench["e16_metering_audit"] = e16
+    if snapshot is None:
+        snapshot = _boot_snapshot()
+    bench["total_wall_seconds"] = round(time.perf_counter() - t0, 3)
 
+    doc = dict(snapshot)
+    doc["bench"] = bench
     errors = validate_snapshot(snapshot)
     if errors:
         for error in errors:
@@ -102,10 +176,17 @@ def main(argv: list[str]) -> int:
         return 1
     out_path.parent.mkdir(exist_ok=True)
     out_path.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"run_benches: wrote {out_path}")
-    hit = e15["am_hit_rate"] * 100
-    print(f"  AM hit rate {hit:.1f}%  "
-          f"cycles x{e15['cycle_speedup']}  wall x{e15['wall_speedup']}")
+    print(f"run_benches: wrote {out_path} ({', '.join(selected)})")
+    if e15 is not None:
+        hit = e15["am_hit_rate"] * 100
+        print(f"  AM hit rate {hit:.1f}%  "
+              f"cycles x{e15['cycle_speedup']}  wall x{e15['wall_speedup']}")
+    if e16 is not None:
+        print(f"  metering coverage {e16['coverage']:.2%}  "
+              f"clock {e16['simulated_clock_metered']}/"
+              f"{e16['simulated_clock_unmetered']}  "
+              f"denials {e16['log_denials']}/{e16['trail_denials']} "
+              f"(dropped {e16['trail_dropped']})")
     return 0
 
 

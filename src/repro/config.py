@@ -184,6 +184,16 @@ class SystemConfig:
     #: default: a disabled tracer costs one flag check per emitting
     #: site and zero simulated cycles.
     tracing: bool = False
+    #: Enable per-process/per-gate cycle attribution (repro.obs.meters).
+    #: On by default; metering never charges simulated cycles either
+    #: way (bench E16 asserts the identity).
+    metering: bool = True
+    #: Security-audit trail level (repro.obs.audit): "all" records
+    #: every reference-monitor decision, "deny" only refusals and
+    #: errors, "off" nothing.
+    audit_level: str = "all"
+    #: Ring-buffer capacity of the audit trail, in records.
+    audit_capacity: int = 4096
 
     costs: CostModel = field(default_factory=CostModel)
 
@@ -220,3 +230,9 @@ class SystemConfig:
         if self.am_entries <= 0:
             raise ValueError("am_entries must be positive (use am_enabled "
                              "to turn the associative memory off)")
+        from repro.obs.audit import LEVELS
+
+        if self.audit_level not in LEVELS:
+            raise ValueError(f"audit_level must be one of {LEVELS}")
+        if self.audit_capacity <= 0:
+            raise ValueError("audit_capacity must be positive")

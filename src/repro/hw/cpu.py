@@ -162,6 +162,7 @@ class CPU:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         am_enabled: bool = True,
+        meters=None,
     ) -> None:
         self.core = core
         self.costs = costs
@@ -173,11 +174,19 @@ class CPU:
         #: Consult the executing context's associative memory
         #: (ctx.dseg.am) on every reference and instruction fetch.
         self.am_enabled = am_enabled
+        #: Optional metering plane (repro.obs.meters): :meth:`execute`
+        #: attributes its cycle deltas to the executing context.
+        self.meters = meters
         self.cycles = 0
-        #: Counters for the benches.
+        #: Counters for the benches.  The two translation-cost splits
+        #: partition every translation cycle charged above: cycles ==
+        #: am_hit_cycles + walk_cycles + (instruction, call and core
+        #: access costs).
         self.calls_in_ring = 0
         self.calls_cross_ring = 0
         self.instructions_executed = 0
+        self.am_hit_cycles = 0
+        self.walk_cycles = 0
         if metrics is not None:
             metrics.counter("cpu.cycles", "simulated cycles charged",
                             source=lambda: self.cycles)
@@ -187,6 +196,14 @@ class CPU:
                             source=lambda: self.calls_in_ring)
             metrics.counter("cpu.calls_cross_ring", "ring-crossing calls",
                             source=lambda: self.calls_cross_ring)
+            metrics.counter("cpu.am_hit_cycles",
+                            "translation cycles served by the AM",
+                            source=lambda: self.am_hit_cycles)
+            metrics.counter("cpu.walk_cycles",
+                            "translation cycles spent on full walks",
+                            source=lambda: self.walk_cycles)
+        if meters is not None:
+            meters.register_cpu(self)
 
     # -- memory helpers ---------------------------------------------------
 
@@ -203,19 +220,23 @@ class CPU:
                         self.page_size,
                     )
                     self.cycles += self.costs.translate_walk
+                    self.walk_cycles += self.costs.translate_walk
                     return located
                 hits_before = am.hits
                 located = translate(
                     ctx.dseg, segno, offset, ctx.ring, intent,
                     self.page_size, am=am,
                 )
-                self.cycles += (
-                    self.costs.am_hit if am.hits != hits_before
-                    else self.costs.translate_walk
-                )
+                if am.hits != hits_before:
+                    self.cycles += self.costs.am_hit
+                    self.am_hit_cycles += self.costs.am_hit
+                else:
+                    self.cycles += self.costs.translate_walk
+                    self.walk_cycles += self.costs.translate_walk
                 return located
             except MissingPageFault as fault:
                 self.cycles += self.costs.translate_walk
+                self.walk_cycles += self.costs.translate_walk
                 self._service_page_fault(ctx, fault)
 
     def _read(self, ctx: MachineContext, segno: int, offset: int) -> int:
@@ -251,6 +272,32 @@ class CPU:
         reflects them to the faulting process; in tests they are the
         assertion of interest.
         """
+        if self.meters is None or not self.meters.enabled:
+            return self._execute(ctx, segno, entry, args, max_instructions)
+        # Attribute this run's cycle deltas to the executing context,
+        # even if it faults out: the counters are plain ints, so the
+        # simulated cost is identical with metering on or off.
+        c0, h0 = self.cycles, self.am_hit_cycles
+        w0, x0 = self.walk_cycles, self.calls_cross_ring
+        try:
+            return self._execute(ctx, segno, entry, args, max_instructions)
+        finally:
+            self.meters.note_execution(
+                ctx,
+                self.cycles - c0,
+                self.am_hit_cycles - h0,
+                self.walk_cycles - w0,
+                self.calls_cross_ring - x0,
+            )
+
+    def _execute(
+        self,
+        ctx: MachineContext,
+        segno: int,
+        entry: int = 0,
+        args: list[int] | None = None,
+        max_instructions: int = 1_000_000,
+    ) -> int:
         code = ctx.code_segment(segno)
         # Instruction fetch legality for the *initial* transfer: treat it
         # like a call from the current ring.
@@ -283,10 +330,12 @@ class CPU:
             # change it (SDW swap, revocation, teardown) clears it.
             if am is not None and am.fetch_probe(segno, ctx.ring):
                 self.cycles += self.costs.am_hit
+                self.am_hit_cycles += self.costs.am_hit
             else:
                 sdw = ctx.dseg.get(segno)
                 check_access(sdw, ctx.ring, Intent.FETCH)
                 self.cycles += self.costs.translate_walk
+                self.walk_cycles += self.costs.translate_walk
                 if am is not None:
                     am.fetch_insert(segno, ctx.ring, sdw.uid)
 

@@ -44,7 +44,8 @@ def _check_dir(services: "KernelServices", process: "Process",
                directory: Directory, mode: AccessMode) -> None:
     """Directory operations go through the same reference monitor."""
     services.monitor.check(
-        _principal(process), directory, mode, time=services.sim.clock.now
+        _principal(process), directory, mode, time=services.sim.clock.now,
+        ring=process.ring,
     )
 
 
@@ -313,7 +314,8 @@ def h_truncate(services, process, segno, from_page):
     uid = state.kst.uid_of(segno)
     branch = services.branch_by_segno(process, segno)
     services.monitor.check(
-        _principal(process), branch, AccessMode.W, time=services.sim.clock.now
+        _principal(process), branch, AccessMode.W,
+        time=services.sim.clock.now, ring=process.ring,
     )
     aseg = services.ast.get(uid)
     if from_page < 0 or from_page > aseg.n_pages:
@@ -362,7 +364,7 @@ def initiate_branch(services, process, branch) -> int:
     if mode == AccessMode.NONE:
         services.monitor.check(  # produce the audited denial
             _principal(process), branch, AccessMode.R,
-            time=services.sim.clock.now,
+            time=services.sim.clock.now, ring=process.ring,
         )
     segno, already = state.kst.make_known(branch.uid)
     if not already:

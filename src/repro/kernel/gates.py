@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.config import NUM_RINGS, SystemConfig
 from repro.errors import AccessViolation, InvalidArgument, KernelDenial
 from repro.hw.rings import RingBrackets, call_cost
-from repro.obs import NULL_TRACER
+from repro.obs import NULL_METERS, NULL_TRACER
 from repro.security.audit import AuditLog
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -168,6 +168,7 @@ class GateTable:
         self.calls = 0
         self.rejections = 0
         self.tracer = getattr(services, "tracer", None) or NULL_TRACER
+        self.meters = getattr(services, "meters", None) or NULL_METERS
         metrics = getattr(services, "metrics", None)
         if metrics is not None:
             metrics.counter("gate.calls", "gate invocations",
@@ -234,7 +235,8 @@ class GateTable:
         """
         if not self.tracer.enabled:
             return self._call(process, name, *args)
-        sid = self.tracer.begin("gate", gate=name, caller_ring=process.ring)
+        sid = self.tracer.begin("gate", gate=name, caller_ring=process.ring,
+                                process=process.name)
         try:
             result = self._call(process, name, *args)
         except BaseException as exc:
@@ -246,6 +248,7 @@ class GateTable:
     def _call(self, process: "Process", name: str, *args: object) -> object:
         self.calls += 1
         clock = self.services.sim.clock
+        meters = self.meters
         gate = self.gate(name)
 
         # 1. Ring check + cross-ring cost.
@@ -254,9 +257,11 @@ class GateTable:
             new_ring = gate.brackets.target_ring(caller_ring)
         except AccessViolation:
             self.rejections += 1
+            meters.note_gate_denied(process, name)
             self.audit.log(
                 clock.now, self._subject(process), name, "call",
                 "denied", f"ring {caller_ring} outside bracket",
+                ring=caller_ring, category="ring",
             )
             raise
         cost = call_cost(
@@ -267,6 +272,8 @@ class GateTable:
         )
         process.cpu_cycles += cost
         self.services.gate_cycles += cost
+        meters.note_gate(process, name, cost,
+                         crossed=new_ring != caller_ring)
         if self.tracer.enabled and new_ring != caller_ring:
             self.tracer.point(
                 "ring_crossing", origin="gate", gate=name,
@@ -276,9 +283,11 @@ class GateTable:
         # 2. Argument validation before anything else runs.
         if len(args) != len(gate.signature):
             self.rejections += 1
+            meters.note_gate_denied(process, name)
             self.audit.log(
                 clock.now, self._subject(process), name, "call",
                 "denied", f"expected {len(gate.signature)} args, got {len(args)}",
+                ring=caller_ring, category="args",
             )
             raise InvalidArgument(
                 f"{name}: expected {len(gate.signature)} arguments, "
@@ -289,9 +298,11 @@ class GateTable:
                 VALIDATORS[spec](value)
             except InvalidArgument as exc:
                 self.rejections += 1
+                meters.note_gate_denied(process, name)
                 self.audit.log(
                     clock.now, self._subject(process), name, "call",
                     "denied", str(exc),
+                    ring=caller_ring, category="args",
                 )
                 raise
 
@@ -301,15 +312,19 @@ class GateTable:
         try:
             result = gate.handler(self.services, process, *args)
         except KernelDenial as denial:
+            meters.note_gate_denied(process, name)
             self.audit.log(
                 clock.now, self._subject(process), name, "call",
                 "denied", str(denial),
+                ring=caller_ring, category="gate",
             )
             raise
         except AccessViolation as violation:
+            meters.note_gate_denied(process, name)
             self.audit.log(
                 clock.now, self._subject(process), name, "call",
                 "denied", str(violation),
+                ring=caller_ring, category="gate",
             )
             raise
         except Exception as crash:
@@ -319,12 +334,14 @@ class GateTable:
             self.audit.log(
                 clock.now, self._subject(process), name, "call",
                 "error", f"{type(crash).__name__}: {crash}",
+                ring=caller_ring, category="gate",
             )
             raise
         finally:
             process.ring = old_ring
         self.audit.log(
-            clock.now, self._subject(process), name, "call", "granted"
+            clock.now, self._subject(process), name, "call", "granted",
+            ring=caller_ring, category="gate",
         )
         return result
 

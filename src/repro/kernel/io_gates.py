@@ -123,6 +123,18 @@ def h_net_send(services, process, host, body):
     ):
         from repro.errors import AccessDenied
 
+        # Audit as a MAC decision in its own right (the gate layer
+        # will also record the denial of the call itself).
+        services.audit.log(
+            services.sim.clock.now,
+            str(process.principal),
+            f"net:{host}",
+            "w",
+            "denied",
+            "*-property: may not write the unclassified network channel",
+            ring=process.ring,
+            category="mac",
+        )
         raise AccessDenied(
             f"*-property: clearance {process.principal.clearance} may not "
             "write the unclassified network channel"

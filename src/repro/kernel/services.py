@@ -26,7 +26,7 @@ from repro.hw.clock import Simulator
 from repro.hw.interrupts import InterruptController
 from repro.hw.memory import MemoryHierarchy
 from repro.hw.segmentation import Intent, translate
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import AuditTrail, Meters, MetricsRegistry, Tracer
 from repro.proc.scheduler import TrafficController
 from repro.security.audit import AuditLog
 from repro.security.mac import BOTTOM
@@ -83,9 +83,17 @@ class KernelServices:
         # asks for it; instruments cost nothing until snapshot time.
         self.metrics = MetricsRegistry(clock=self.sim.clock)
         self.tracer = Tracer(self.sim.clock, enabled=config.tracing)
+        #: Per-process/per-gate cycle attribution (repro.obs.meters);
+        #: accumulation is plain integers, never simulated cycles.
+        self.meters = Meters(enabled=config.metering)
         self.scheduler = TrafficController(self.sim, config,
-                                           metrics=self.metrics)
-        self.audit = AuditLog()
+                                           metrics=self.metrics,
+                                           meters=self.meters)
+        #: The bounded, exportable security-audit trail; every record
+        #: the kernel AuditLog takes is forwarded here.
+        self.audit_trail = AuditTrail(capacity=config.audit_capacity,
+                                      level=config.audit_level)
+        self.audit = AuditLog(trail=self.audit_trail)
         # The fault plane: built before the hardware so every model can
         # consult one injector.  A fresh fork keeps this system's
         # injection history independent of any other system built from
@@ -173,6 +181,17 @@ class KernelServices:
                 len(p.dseg.am) for p in self._procs.values()
             ),
         )
+        # The metering plane's coverage denominator: every charging
+        # site's own total, read from the side opposite the buckets.
+        self.meters.bind_system(
+            busy_cycles=lambda: sum(
+                p.busy_cycles for p in self.scheduler.processors
+            ),
+            gate_cycles=lambda: self.gate_cycles,
+            fault_wait=lambda: self.page_control.fault_wait_total,
+        )
+        self.meters.register_metrics(self.metrics)
+        self.audit_trail.register_metrics(self.metrics)
 
     def _am_sum(self, attr: str):
         """Aggregate one AM counter over live and retired processes."""
@@ -258,9 +277,13 @@ class KernelServices:
         if process.pid not in self._procs:
             self._procs[process.pid] = process
             process.dseg.am.capacity = self.config.am_entries
+            self.meters.track(process)
 
     def drop_pstate(self, process: "Process") -> None:
         self._pstate.pop(process.pid, None)
+        # Freeze the process's cycle accounting into its metering
+        # bucket before the object goes away.
+        self.meters.fold(process)
         tracked = self._procs.pop(process.pid, None)
         if tracked is not None:
             # Address-space teardown: fire cam so nothing cached for
@@ -295,6 +318,17 @@ class KernelServices:
                 process.dseg.am.invalidate_segno(sdw.segno)
                 touched += 1
                 break
+        # The setfaults sweep is itself a security event: record what
+        # was revoked and how far it reached.
+        self.audit.log(
+            self.sim.clock.now,
+            str(KERNEL_PRINCIPAL),
+            branch.name,
+            "revoke",
+            "granted",
+            f"access recomputed on {touched} live SDWs (uid {branch.uid})",
+            category="revocation",
+        )
         return touched
 
     # -- hardware-mediated data access ---------------------------------------

@@ -1,14 +1,19 @@
-"""The observability plane: one metrics namespace, one span tracer.
+"""The observability plane: metrics, meters, tracing, audit trail.
 
 See :mod:`repro.obs.registry` for instruments and the snapshot schema,
-:mod:`repro.obs.tracer` for the span taxonomy.  The system facade wires
-one :class:`MetricsRegistry` and one :class:`Tracer` through
+:mod:`repro.obs.tracer` for the span taxonomy and the Chrome trace
+export, :mod:`repro.obs.meters` for per-process/per-gate cycle
+attribution, and :mod:`repro.obs.audit` for the bounded security-audit
+trail.  The system facade wires one of each through
 :class:`repro.kernel.services.KernelServices`; standalone components
 (a bare CPU, a bench-built scheduler) accept them as optional
 constructor arguments.
 """
 
+from repro.obs.audit import LEVELS, AuditTrail, TrailRecord
+from repro.obs.meters import NULL_METERS, GateMeter, Meters, ProcessMeter
 from repro.obs.registry import (
+    NAME_RE,
     SCHEMA,
     SCHEMA_VERSION,
     Counter,
@@ -20,6 +25,7 @@ from repro.obs.registry import (
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 
 __all__ = [
+    "NAME_RE",
     "SCHEMA",
     "SCHEMA_VERSION",
     "Counter",
@@ -30,4 +36,11 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "Tracer",
+    "NULL_METERS",
+    "Meters",
+    "ProcessMeter",
+    "GateMeter",
+    "LEVELS",
+    "AuditTrail",
+    "TrailRecord",
 ]

@@ -1,0 +1,143 @@
+"""The bounded security-audit trail.
+
+:class:`repro.security.audit.AuditLog` is the kernel's unbounded,
+in-memory decision log — fine for tests, wrong for an operator surface:
+a long-running system must bound its audit storage and say how much it
+dropped.  :class:`AuditTrail` is that surface: a ring buffer of frozen
+:class:`TrailRecord` entries fed by *every* reference-monitor decision
+point (the ``AuditLog`` forwards each record it takes), each carrying
+the principal, the object, the ring the request came from, a category
+naming the mechanism that decided (``acl``, ``mac``, ``ring``, ``gate``,
+``args``, ``revocation``), the decision, and the simulated timestamp.
+
+Levels: ``all`` records every decision, ``deny`` only refusals and
+errors, ``off`` nothing.  At any level except ``off`` the completeness
+guarantee holds: **every deny raised anywhere appears in the trail**
+(until capacity forces the oldest out — ``dropped`` counts those, so a
+consumer can tell a complete trail from a truncated one).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+
+#: Recognized trail levels, least to most verbose.
+LEVELS = ("off", "deny", "all")
+
+
+@dataclass(frozen=True)
+class TrailRecord:
+    """One security-relevant decision, as exported."""
+
+    seq: int            #: monotonic sequence number (detects truncation)
+    time: int           #: simulated clock at the decision
+    principal: str      #: who asked
+    object: str         #: what was referenced (path, uid, gate name)
+    action: str         #: requested access or invoked operation
+    ring: int | None    #: ring the request was made from (None = n/a)
+    category: str       #: deciding mechanism: acl|mac|ring|gate|args|...
+    decision: str       #: "granted" | "denied" | "error"
+    detail: str = ""
+
+
+class AuditTrail:
+    """Bounded ring buffer of security decisions."""
+
+    def __init__(self, capacity: int = 4096, level: str = "all") -> None:
+        if level not in LEVELS:
+            raise ValueError(f"audit level must be one of {LEVELS}, "
+                             f"got {level!r}")
+        if capacity <= 0:
+            raise ValueError("audit capacity must be positive")
+        self.capacity = capacity
+        self.level = level
+        self._records: deque[TrailRecord] = deque(maxlen=capacity)
+        #: Decisions offered to the trail (before level filtering).
+        self.seen = 0
+        #: Records evicted by the capacity bound after being accepted.
+        self.dropped = 0
+        #: Denies/errors accepted (the completeness-check numerator).
+        self.denials = 0
+        self._seq = 0
+
+    # -- feeding ---------------------------------------------------------
+
+    def record(
+        self,
+        time: int,
+        principal: str,
+        obj: str,
+        action: str,
+        decision: str,
+        detail: str = "",
+        ring: int | None = None,
+        category: str = "",
+    ) -> None:
+        """Offer one decision to the trail (level-filtered, bounded)."""
+        self.seen += 1
+        if self.level == "off":
+            return
+        if self.level == "deny" and decision == "granted":
+            return
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._seq += 1
+        if decision != "granted":
+            self.denials += 1
+        self._records.append(TrailRecord(
+            self._seq, time, principal, obj, action, ring, category,
+            decision, detail,
+        ))
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[TrailRecord]:
+        return list(self._records)
+
+    def denied(self) -> list[TrailRecord]:
+        return [r for r in self._records if r.decision != "granted"]
+
+    def by_principal(self, principal: str) -> list[TrailRecord]:
+        return [r for r in self._records if r.principal == principal]
+
+    def by_category(self, category: str) -> list[TrailRecord]:
+        return [r for r in self._records if r.category == category]
+
+    # -- export ----------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        return [asdict(r) for r in self._records]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The whole trail as one self-describing JSON document."""
+        return json.dumps(
+            {
+                "schema": "repro.audit/v1",
+                "level": self.level,
+                "capacity": self.capacity,
+                "seen": self.seen,
+                "dropped": self.dropped,
+                "denials": self.denials,
+                "records": self.to_dicts(),
+            },
+            indent=indent,
+        )
+
+    # -- registry wiring -------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Expose the trail under ``audit.*`` in the shared registry."""
+        registry.counter("audit.seen", "decisions offered to the trail",
+                         source=lambda: self.seen)
+        registry.counter("audit.denials", "denies/errors recorded",
+                         source=lambda: self.denials)
+        registry.counter("audit.dropped",
+                         "accepted records evicted by the capacity bound",
+                         source=lambda: self.dropped)
+        registry.gauge("audit.depth", "records held now",
+                       source=lambda: len(self._records))

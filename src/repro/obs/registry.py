@@ -48,6 +48,8 @@ SCHEMA = "repro.obs/v1"
 SCHEMA_VERSION = 1
 
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+#: Public alias of the naming rule, for lint tests and external tools.
+NAME_RE = _NAME_RE
 
 
 class Counter:

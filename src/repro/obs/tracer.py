@@ -94,6 +94,23 @@ class Tracer:
         if attrs:
             span.attrs.update(attrs)
 
+    def abort(self, span_id: int, **attrs) -> None:
+        """Close a span whose section did not finish normally.
+
+        Generator paths (page faults) can be dropped mid-service — a
+        destroyed process, an injected fatal fault — and a span left
+        with ``end=None`` would poison every export.  Aborting closes
+        it at the current time and marks it ``aborted`` so consumers
+        can tell a completed service from a torn one.
+        """
+        if span_id < 0 or not self.enabled:
+            return
+        span = self.spans[span_id]
+        span.end = self._now()
+        span.attrs["aborted"] = True
+        if attrs:
+            span.attrs.update(attrs)
+
     def point(self, name: str, **attrs) -> None:
         """A zero-duration span (instantaneous event)."""
         if not self.enabled:
@@ -106,6 +123,10 @@ class Tracer:
     def by_name(self, name: str) -> list[Span]:
         return [s for s in self.spans if s.name == name]
 
+    def open_spans(self) -> list[Span]:
+        """Spans still missing an end time (should be [] when idle)."""
+        return [s for s in self.spans if s.end is None]
+
     def counts(self) -> dict[str, int]:
         out: dict[str, int] = {}
         for span in self.spans:
@@ -114,6 +135,58 @@ class Tracer:
 
     def to_dicts(self) -> list[dict]:
         return [s.to_dict() for s in self.spans]
+
+    def to_chrome_trace(self) -> dict:
+        """The span list as a Chrome trace-event document (Perfetto).
+
+        One pid (the simulated machine) with one tid lane per simulated
+        process: spans carrying a ``process`` attribute land in that
+        process's lane, everything else (kernel-side work: interrupts,
+        retries, synchronous fault service) in lane 0.  Spans are "X"
+        (complete) events with simulated-clock microsecond-equivalent
+        ``ts``/``dur``; a span still open at export time is emitted with
+        ``dur=0`` and ``aborted`` set rather than being dropped.
+        """
+        pid = 1
+        lanes: dict[str, int] = {"kernel": 0}
+        events: list[dict] = [
+            {
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": "simulated multics"},
+            },
+            {
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": "kernel"},
+            },
+        ]
+
+        def lane(name: str) -> int:
+            tid = lanes.get(name)
+            if tid is None:
+                tid = lanes[name] = len(lanes)
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": name},
+                })
+            return tid
+
+        for span in self.spans:
+            attrs = dict(span.attrs)
+            aborted = span.end is None or attrs.get("aborted", False)
+            duration = 0 if span.end is None else span.end - span.start
+            if aborted:
+                attrs["aborted"] = True
+            events.append({
+                "name": span.name,
+                "cat": span.name,
+                "ph": "X",
+                "ts": span.start,
+                "dur": duration,
+                "pid": pid,
+                "tid": lane(str(attrs.get("process", "kernel"))),
+                "args": attrs,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
 #: The shared disabled tracer every component defaults to.  Do not

@@ -61,9 +61,13 @@ class TrafficController:
         sim: Simulator,
         config: SystemConfig,
         metrics: MetricsRegistry | None = None,
+        meters=None,
     ) -> None:
         self.sim = sim
         self.config = config
+        #: Optional metering plane (repro.obs.meters): every admitted
+        #: process gets an attribution bucket.
+        self.meters = meters
         self.vpt = VirtualProcessorTable(config.n_virtual_processors)
         self.processors = [Processor(i) for i in range(config.n_processors)]
         self._ready_kernel: deque[Process] = deque()
@@ -120,6 +124,8 @@ class TrafficController:
         if process in self.processes:
             raise ValueError(f"{process} already admitted")
         self.processes.append(process)
+        if self.meters is not None:
+            self.meters.track(process)
         process.start()
         if process.dedicated:
             self.vpt.dedicate(process)

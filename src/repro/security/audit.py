@@ -3,6 +3,13 @@
 Every reference-monitor decision and every gate invocation is recorded.
 The penetration experiments use the log to demonstrate that no attack
 produced an ``allowed`` record it should not have.
+
+The log itself is unbounded and in-memory (a test and debugging
+surface).  When a :class:`repro.obs.audit.AuditTrail` is attached as
+``trail``, every record taken here is also forwarded there — the
+bounded, exportable operator surface — which is what gives the trail
+its completeness guarantee: there is no way to log a denial without it
+reaching the trail.
 """
 
 from __future__ import annotations
@@ -18,11 +25,18 @@ class AuditRecord:
     action: str         #: requested access or gate name
     outcome: str        #: "granted" | "denied" | "error"
     detail: str = ""
+    #: Ring the request was made from (None when not applicable).
+    ring: int | None = None
+    #: Deciding mechanism: "acl", "mac", "ring", "gate", "args", ...
+    category: str = ""
 
 
 @dataclass
 class AuditLog:
     records: list[AuditRecord] = field(default_factory=list)
+    #: Optional bounded trail (repro.obs.audit.AuditTrail) every record
+    #: is forwarded to.
+    trail: object | None = None
 
     def log(
         self,
@@ -32,10 +46,18 @@ class AuditLog:
         action: str,
         outcome: str,
         detail: str = "",
+        ring: int | None = None,
+        category: str = "",
     ) -> None:
         self.records.append(
-            AuditRecord(time, subject, obj, action, outcome, detail)
+            AuditRecord(time, subject, obj, action, outcome, detail,
+                        ring, category)
         )
+        if self.trail is not None:
+            self.trail.record(
+                time, subject, obj, action, outcome, detail,
+                ring=ring, category=category,
+            )
 
     # -- queries -----------------------------------------------------------
 

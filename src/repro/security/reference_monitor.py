@@ -39,7 +39,10 @@ class ReferenceMonitor:
     """Combines ACL and MAC checks; logs every decision."""
 
     def __init__(self, audit: AuditLog | None = None) -> None:
-        self.audit = audit or AuditLog()
+        # Explicit None check: an *empty* AuditLog is falsy (it has
+        # __len__), and ``audit or AuditLog()`` would silently replace
+        # a caller's log — losing its attached trail.
+        self.audit = audit if audit is not None else AuditLog()
         self.checks = 0
         self.denials = 0
 
@@ -65,15 +68,17 @@ class ReferenceMonitor:
         branch: "Branch",
         requested: AccessMode,
         time: int = 0,
+        ring: int | None = None,
     ) -> None:
         """Raise :class:`AccessDenied` unless every requested bit is
-        permitted; audit either way."""
+        permitted; audit either way (with the deciding mechanism —
+        ``acl`` or ``mac`` — as the record's category)."""
         self.checks += 1
         permitted = self.permitted_modes(principal, branch)
         missing = requested & ~permitted
         if missing:
             self.denials += 1
-            reason = self._explain(principal, branch, requested)
+            reason, category = self._explain(principal, branch, requested)
             self.audit.log(
                 time,
                 str(principal),
@@ -81,36 +86,40 @@ class ReferenceMonitor:
                 requested.to_string(),
                 "denied",
                 reason,
+                ring=ring,
+                category=category,
             )
             raise AccessDenied(
                 f"{principal} denied {requested.to_string()!r} on "
                 f"{branch.name!r}: {reason}"
             )
         self.audit.log(
-            time, str(principal), branch.name, requested.to_string(), "granted"
+            time, str(principal), branch.name, requested.to_string(),
+            "granted", ring=ring, category="acl",
         )
 
     def _explain(
         self, principal: Principal, branch: "Branch", requested: AccessMode
-    ) -> str:
+    ) -> tuple[str, str]:
+        """(human reason, audit category) for a denial."""
         acl_mode = branch.acl.effective_mode(principal)
         if requested & ~acl_mode:
-            return f"acl grants only {acl_mode.to_string()!r}"
+            return f"acl grants only {acl_mode.to_string()!r}", "acl"
         if requested & (AccessMode.R | AccessMode.E) and not may_read(
             principal.clearance, branch.label
         ):
             return (
                 f"simple security: clearance {principal.clearance} does "
                 f"not dominate label {branch.label}"
-            )
+            ), "mac"
         if requested & AccessMode.W and not may_write(
             principal.clearance, branch.label
         ):
             return (
                 f"*-property: label {branch.label} does not dominate "
                 f"clearance {principal.clearance}"
-            )
-        return "denied"  # pragma: no cover - all causes enumerated above
+            ), "mac"
+        return "denied", ""  # pragma: no cover - all causes enumerated
 
     # -- convenience predicates ----------------------------------------------
 

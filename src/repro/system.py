@@ -241,6 +241,16 @@ class MulticsSystem:
         """The system-wide event tracer (repro.obs)."""
         return self.services.tracer
 
+    @property
+    def meters(self):
+        """The system-wide metering plane (repro.obs)."""
+        return self.services.meters
+
+    @property
+    def audit_trail(self):
+        """The bounded security audit trail (repro.obs)."""
+        return self.services.audit_trail
+
 
 class Session:
     """A logged-in user's handle on the system.
@@ -428,6 +438,7 @@ class Session:
             am_enabled=self.system.config.am_enabled,
             metrics=services.metrics,
             tracer=services.tracer,
+            meters=services.meters,
         )
 
     def install_object(self, path: str, obj, n_pages: int | None = None) -> int:

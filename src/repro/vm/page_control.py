@@ -99,6 +99,10 @@ class PageControl:
         self.retry_policy = RetryPolicy.from_config(config)
         # Metrics.
         self.faults_serviced = 0
+        #: Total cycles processes spent waiting on faults (the metering
+        #: plane's coverage denominator reads this; the same quantity
+        #: is charged per-process in ``_record_fault``).
+        self.fault_wait_total = 0
         self.core_evictions = 0
         self.bulk_evictions = 0
         self.transfer_retries = 0
@@ -299,6 +303,7 @@ class PageControl:
         fault, charge the wait, and feed the E5 measurement stream."""
         self.faults_serviced += 1
         process.fault_wait_cycles += finished - started
+        self.fault_wait_total += finished - started
         record = FaultRecord(process.name, started, finished, steps)
         self.fault_records.append(record)
         if self._h_latency is not None:
@@ -396,32 +401,39 @@ class SequentialPageControl(PageControl):
                 process=process.name, segment=aseg.uid, page=pageno,
             )
         steps = 0
-        while True:
-            if aseg.ptws[pageno].in_core:
-                break  # another process brought it in meanwhile
-            if self.hierarchy.core.free_count == 0:
-                # Make room — and possibly make room to make room.
-                if self.hierarchy.bulk.free_count == 0:
-                    cost = self._evict_bulk_move()
+        # The generator can be dropped at any yield (fatal injected
+        # fault, process destruction): close the span as aborted rather
+        # than leaking it with end=None.
+        try:
+            while True:
+                if aseg.ptws[pageno].in_core:
+                    break  # another process brought it in meanwhile
+                if self.hierarchy.core.free_count == 0:
+                    # Make room — and possibly make room to make room.
+                    if self.hierarchy.bulk.free_count == 0:
+                        cost = self._evict_bulk_move()
+                        steps += 1
+                        yield from self._io(cost)
+                        continue
+                    try:
+                        victim = self._choose_core_victim()
+                        cost = self._evict_core_move(victim)
+                    except OutOfFrames:
+                        continue
                     steps += 1
                     yield from self._io(cost)
                     continue
                 try:
-                    victim = self._choose_core_victim()
-                    cost = self._evict_core_move(victim)
+                    cost = self._page_in_move(aseg, pageno)
                 except OutOfFrames:
-                    continue
+                    continue  # lost a race; start over
                 steps += 1
                 yield from self._io(cost)
-                continue
-            try:
-                cost = self._page_in_move(aseg, pageno)
-            except OutOfFrames:
-                continue  # lost a race; start over
-            steps += 1
-            yield from self._io(cost)
-            break
-        finished = yield Now()
+                break
+            finished = yield Now()
+        except BaseException:
+            self.tracer.abort(sid, steps=steps)
+            raise
         self.tracer.end(sid, steps=steps)
         self._record_fault(process, started, finished, steps)
 
@@ -505,24 +517,30 @@ class ParallelPageControl(PageControl):
                 process=process.name, segment=aseg.uid, page=pageno,
             )
         steps = 0
-        while True:
-            if aseg.ptws[pageno].in_core:
+        # As in the sequential design: a dropped generator must close
+        # the span as aborted, never leak it with end=None.
+        try:
+            while True:
+                if aseg.ptws[pageno].in_core:
+                    break
+                if self.hierarchy.core.free_count == 0:
+                    yield Wakeup(self.core_needed)
+                    yield Block(self.core_freed)
+                    continue
+                try:
+                    cost = self._page_in_move(aseg, pageno)
+                except OutOfFrames:
+                    continue
+                steps += 1
+                # Falling below the low-water mark pre-arms the freer.
+                if self.hierarchy.core.free_count < self.config.free_core_target:
+                    yield Wakeup(self.core_needed)
+                yield from self._io(cost)
                 break
-            if self.hierarchy.core.free_count == 0:
-                yield Wakeup(self.core_needed)
-                yield Block(self.core_freed)
-                continue
-            try:
-                cost = self._page_in_move(aseg, pageno)
-            except OutOfFrames:
-                continue
-            steps += 1
-            # Falling below the low-water mark pre-arms the freer.
-            if self.hierarchy.core.free_count < self.config.free_core_target:
-                yield Wakeup(self.core_needed)
-            yield from self._io(cost)
-            break
-        finished = yield Now()
+            finished = yield Now()
+        except BaseException:
+            self.tracer.abort(sid, steps=steps)
+            raise
         self.tracer.end(sid, steps=steps)
         self._record_fault(process, started, finished, steps)
 

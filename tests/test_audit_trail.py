@@ -1,0 +1,171 @@
+"""Tests for the bounded security-audit trail (repro.obs.audit):
+ring-buffer mechanics, levels, JSON export, and the completeness
+guarantee — every deny raised anywhere appears in the trail."""
+
+import json
+
+import pytest
+
+from repro.errors import AccessDenied, AccessViolation, InvalidArgument
+from repro.fs.acl import Acl
+from repro.hw.segmentation import AccessMode
+from repro.obs import AuditTrail
+from repro.security.audit import AuditLog
+from repro.security.mac import SecurityLabel
+from repro.security.reference_monitor import ReferenceMonitor
+from repro.system import MulticsSystem
+
+from tests.test_security_reference_monitor import branch, subject
+
+
+class TestTrailMechanics:
+    def test_rejects_bad_level_and_capacity(self):
+        with pytest.raises(ValueError):
+            AuditTrail(level="verbose")
+        with pytest.raises(ValueError):
+            AuditTrail(capacity=0)
+
+    def test_capacity_bound_drops_oldest_and_counts(self):
+        trail = AuditTrail(capacity=3)
+        for i in range(5):
+            trail.record(i, "p", f"o{i}", "r", "granted")
+        assert len(trail) == 3
+        assert trail.seen == 5
+        assert trail.dropped == 2
+        # The survivors are the newest, with monotonic seq intact.
+        assert [r.object for r in trail.records()] == ["o2", "o3", "o4"]
+        assert [r.seq for r in trail.records()] == [3, 4, 5]
+
+    def test_level_deny_keeps_only_refusals(self):
+        trail = AuditTrail(level="deny")
+        trail.record(1, "p", "o", "r", "granted")
+        trail.record(2, "p", "o", "w", "denied", "no")
+        trail.record(3, "p", "o", "call", "error", "boom")
+        assert len(trail) == 2
+        assert trail.denials == 2
+        assert all(r.decision != "granted" for r in trail.records())
+
+    def test_level_off_records_nothing(self):
+        trail = AuditTrail(level="off")
+        trail.record(1, "p", "o", "r", "denied")
+        assert len(trail) == 0
+        assert trail.seen == 1
+
+    def test_queries(self):
+        trail = AuditTrail()
+        trail.record(1, "Alice.Crypto", "a", "r", "granted", category="acl")
+        trail.record(2, "Eve.Spies", "a", "w", "denied", category="mac")
+        assert len(trail.denied()) == 1
+        assert len(trail.by_principal("Eve.Spies")) == 1
+        assert len(trail.by_category("mac")) == 1
+
+    def test_json_export_round_trips(self):
+        trail = AuditTrail(capacity=8)
+        trail.record(5, "Alice.Crypto", "data", "rw", "denied",
+                     "acl grants only 'r'", ring=4, category="acl")
+        doc = json.loads(trail.to_json())
+        assert doc["schema"] == "repro.audit/v1"
+        assert doc["denials"] == 1
+        (rec,) = doc["records"]
+        assert rec == {
+            "seq": 1, "time": 5, "principal": "Alice.Crypto",
+            "object": "data", "action": "rw", "ring": 4,
+            "category": "acl", "decision": "denied",
+            "detail": "acl grants only 'r'",
+        }
+
+
+class TestLogForwarding:
+    """AuditLog is the single funnel: everything it takes reaches the
+    attached trail, so nothing can log a denial around the trail."""
+
+    def test_every_log_entry_reaches_the_trail(self):
+        trail = AuditTrail()
+        log = AuditLog(trail=trail)
+        log.log(1, "p", "o", "r", "granted")
+        log.log(2, "p", "o", "w", "denied", "no", ring=4, category="mac")
+        assert trail.seen == 2
+        assert trail.denials == 1
+        rec = trail.denied()[0]
+        assert rec.ring == 4 and rec.category == "mac"
+
+    def test_monitor_denials_land_in_trail_with_category(self):
+        trail = AuditTrail()
+        rm = ReferenceMonitor(audit=AuditLog(trail=trail))
+        with pytest.raises(AccessDenied):
+            rm.check(subject(), branch(acl=Acl.make(("*.*.*", "r"))),
+                     AccessMode.W, ring=4)
+        with pytest.raises(AccessDenied):
+            rm.check(subject(level=0), branch(label=SecurityLabel(2)),
+                     AccessMode.R)
+        with pytest.raises(AccessDenied):
+            rm.check(subject(level=2), branch(label=SecurityLabel(0)),
+                     AccessMode.W)
+        assert len(rm.audit.denied()) == 3
+        assert [r.category for r in trail.denied()] == ["acl", "mac", "mac"]
+        assert trail.denied()[0].ring == 4
+
+
+class TestSystemCompleteness:
+    """Replayed deny scenarios against a booted system: each refusal in
+    the kernel's AuditLog has a matching trail record."""
+
+    def make_system(self, **overrides):
+        from repro import kernel_config
+
+        system = MulticsSystem(kernel_config(**overrides)).boot()
+        system.register_user("Alice", "Crypto", "alice-pw")
+        system.register_user("Eve", "Spies", "eve-pw")
+        return system
+
+    def provoke_denials(self, system):
+        alice = system.login("Alice", "Crypto", "alice-pw")
+        eve = system.login("Eve", "Spies", "eve-pw")
+        segno = alice.create_segment("secret")
+        alice.write_words(segno, [7])
+        alice.set_acl("secret", "Alice.Crypto", "rw")
+        # ACL denial: Eve initiates Alice's segment.
+        with pytest.raises(AccessDenied):
+            eve.initiate(f"{alice.home_path}>secret")
+        # Argument denial: malformed gate argument.
+        with pytest.raises(InvalidArgument):
+            alice.call("hcs_$initiate", -1, "secret")
+        # Ring denial: a user-ring call to a privileged gate.
+        with pytest.raises(AccessViolation):
+            alice.call("hcs_$proc_list")
+        return alice, eve
+
+    def test_every_deny_has_a_trail_record(self):
+        system = self.make_system()
+        self.provoke_denials(system)
+        log_denied = [r for r in system.audit.records
+                      if r.outcome != "granted"]
+        trail_denied = system.audit_trail.denied()
+        assert len(log_denied) >= 3
+        assert len(trail_denied) == len(log_denied)
+        for log_rec, trail_rec in zip(log_denied, trail_denied):
+            assert (log_rec.time, log_rec.subject, log_rec.object,
+                    log_rec.outcome) == (
+                trail_rec.time, trail_rec.principal, trail_rec.object,
+                trail_rec.decision)
+
+    def test_deny_level_trail_holds_no_grants(self):
+        system = self.make_system(audit_level="deny")
+        # A grants-only run: login and legitimate work.
+        alice = system.login("Alice", "Crypto", "alice-pw")
+        segno = alice.create_segment("mine")
+        alice.write_words(segno, [1])
+        assert alice.read_words(segno, 1) == [1]
+        trail = system.audit_trail
+        assert all(r.decision != "granted" for r in trail.records())
+        # The kernel's own log still saw the grants.
+        assert any(r.outcome == "granted" for r in system.audit.records)
+
+    def test_revocation_sweeps_are_recorded(self):
+        system = self.make_system()
+        alice = system.login("Alice", "Crypto", "alice-pw")
+        alice.create_segment("shared")
+        alice.set_acl("shared", "Eve.Spies", "r")
+        revocations = system.audit_trail.by_category("revocation")
+        assert revocations
+        assert all(r.action == "revoke" for r in revocations)

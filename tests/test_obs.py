@@ -177,6 +177,132 @@ class TestTracer:
         t.disable()
         assert t.begin("a") == -1
 
+    def test_abort_closes_span_and_marks_it(self):
+        clock = Clock()
+        t = Tracer(clock, enabled=True)
+        sid = t.begin("page_fault", page=3)
+        clock.advance(25)
+        t.abort(sid, steps=1)
+        (span,) = t.spans
+        assert span.end == 25
+        assert span.attrs["aborted"] is True
+        assert span.attrs["steps"] == 1
+        assert t.open_spans() == []
+
+    def test_abort_is_noop_when_disabled(self):
+        t = Tracer(clock=None, enabled=False)
+        t.abort(-1)
+        t.abort(-1, steps=0)
+        assert t.spans == []
+
+    def test_open_spans_reports_unclosed(self):
+        t = Tracer(Clock(), enabled=True)
+        sid = t.begin("gate")
+        assert len(t.open_spans()) == 1
+        t.end(sid)
+        assert t.open_spans() == []
+
+
+class TestChromeTraceExport:
+    def test_export_shape_and_lanes(self):
+        clock = Clock()
+        t = Tracer(clock, enabled=True)
+        sid = t.begin("gate", gate="hcs_$initiate", process="alice")
+        clock.advance(40)
+        t.end(sid, outcome="granted")
+        t.point("ring_crossing", from_ring=4, to_ring=0)
+        doc = t.to_chrome_trace()
+        events = doc["traceEvents"]
+        # Metadata names the synthetic process and the kernel lane.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        gate_ev = next(e for e in xs if e["name"] == "gate")
+        assert gate_ev["ts"] == 0 and gate_ev["dur"] == 40
+        cross_ev = next(e for e in xs if e["name"] == "ring_crossing")
+        # Distinct lanes: the span carries a process, the point does not.
+        assert gate_ev["tid"] != cross_ev["tid"]
+        assert cross_ev["tid"] == 0  # kernel lane
+        # Round-trips through JSON.
+        json.loads(json.dumps(doc))
+
+    def test_unclosed_span_exported_as_aborted_not_dropped(self):
+        clock = Clock()
+        t = Tracer(clock, enabled=True)
+        t.begin("page_fault", process="w0")
+        clock.advance(10)
+        doc = t.to_chrome_trace()
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ev["dur"] == 0
+        assert ev["args"]["aborted"] is True
+
+
+class TestSpanLeakRegression:
+    """A page-fault generator dropped mid-service (process destroy,
+    fatal injected fault) must not leak an open span."""
+
+    def build(self, kind):
+        from repro.config import PageControlKind
+        from repro.hw.clock import Simulator
+        from repro.hw.memory import MemoryHierarchy
+        from repro.proc.scheduler import TrafficController
+        from repro.vm.page_control import make_page_control
+        from repro.vm.segment_control import ActiveSegmentTable
+
+        config = SystemConfig(
+            page_size=16, core_frames=8, bulk_frames=32, disk_frames=256,
+            n_processors=1, n_virtual_processors=4, quantum=500,
+        )
+        config.validate()
+        sim = Simulator()
+        tc = TrafficController(sim, config)
+        hierarchy = MemoryHierarchy(config)
+        ast = ActiveSegmentTable(hierarchy)
+        tracer = Tracer(sim.clock, enabled=True)
+        pc = make_page_control(
+            PageControlKind[kind], sim, tc, hierarchy, ast, config,
+            tracer=tracer,
+        )
+        return tc, ast, pc, tracer
+
+    @pytest.mark.parametrize("kind", ["SEQUENTIAL", "PARALLEL"])
+    def test_dropped_fault_generator_aborts_its_span(self, kind):
+        from repro.proc.process import Process
+
+        tc, ast, pc, tracer = self.build(kind)
+        seg = ast.activate(uid=1, n_pages=1)
+        proc = Process("victim", ring=4)
+        gen = pc.fault(proc, seg, 0)
+        next(gen)          # reach `started = yield Now()`
+        gen.send(0)        # enter the service loop, park at an I/O yield
+        assert len(tracer.open_spans()) == 1
+        gen.close()        # drop mid-service (GeneratorExit at the yield)
+        assert tracer.open_spans() == []
+        (span,) = tracer.by_name("page_fault")
+        assert span.attrs["aborted"] is True
+        assert span.end is not None
+
+    def test_process_destroy_mid_fault_leaves_no_open_spans(self):
+        """End-to-end: a faulting process torn down by the scheduler
+        (generator garbage-collected) leaves a closed, aborted span."""
+        from repro.proc.ipc import Charge
+        from repro.proc.process import Process
+
+        tc, ast, pc, tracer = self.build("SEQUENTIAL")
+        seg = ast.activate(uid=1, n_pages=1)
+
+        def body(proc):
+            yield Charge(10)
+            yield from pc.fault(proc, seg, 0)
+
+        victim = Process("victim", body=body, ring=4)
+        tc.add_process(victim)
+        tc.run(until=12)  # partway into the fault's I/O service
+        assert len(tracer.open_spans()) == 1
+        victim.start().close()
+        assert tracer.open_spans() == []
+
 
 class TestSystemWiring:
     """The obs plane threaded through a whole live system."""
