@@ -1,15 +1,16 @@
 #!/usr/bin/env python
-"""Run the dynamic benches headlessly and export ``BENCH_pr4.json``.
+"""Run the dynamic benches headlessly and export ``BENCH_pr5.json``.
 
 Collects the numbers a CI job or a reviewer wants without the pytest
 benchmark machinery: wall-clock seconds, simulated cycles,
-associative-memory hit rates, and metering/audit attribution for the
-hot-path workloads (E4 ring crossings, E5 page-fault storm, E15
-associative memory, E16 metering & audit).  The document is a real
-metrics snapshot (schema ``repro.obs/v1``, validated before writing)
-with a ``bench`` section of derived numbers, written to
-``benchmarks/results/BENCH_pr4.json`` so
-``scripts/check_bench_schema.py`` guards it like every other export.
+associative-memory hit rates, metering/audit attribution, and SMP
+throughput for the hot-path workloads (E4 ring crossings, E5
+page-fault storm, E15 associative memory, E16 metering & audit, E17
+SMP lockstep).  The document is a real metrics snapshot (schema
+``repro.obs/v1``, validated before writing) with a ``bench`` section
+of derived numbers, written to ``benchmarks/results/BENCH_pr5.json``
+so ``scripts/check_bench_schema.py`` guards it like every other
+export.
 
 ``--only`` selects a subset by experiment id (comma-separated) — the
 same workloads pytest selects with the ``bench`` marker
@@ -42,10 +43,11 @@ from test_e15_assoc_memory import (  # noqa: E402
     _paging_workload,
 )
 from test_e16_metering import combined_workload  # noqa: E402
+from test_e17_smp import bench_numbers as smp_bench_numbers  # noqa: E402
 
 #: Experiment ids this runner knows, in execution order.  These are the
 #: same workloads pytest runs under the ``bench`` marker.
-BENCH_IDS = ("E4", "E5", "E15", "E16")
+BENCH_IDS = ("E4", "E5", "E15", "E16", "E17")
 
 
 def bench_e4() -> dict:
@@ -145,14 +147,14 @@ def main(argv: list[str]) -> int:
                   f"(known: {', '.join(BENCH_IDS)})", file=sys.stderr)
             return 2
 
-    default = _ROOT / "benchmarks" / "results" / "BENCH_pr4.json"
+    default = _ROOT / "benchmarks" / "results" / "BENCH_pr5.json"
     out_path = pathlib.Path(args[0]) if args else default
     selected = [b for b in BENCH_IDS if only is None or b in only]
 
     t0 = time.perf_counter()
     bench: dict = {}
     snapshot: dict | None = None
-    e15 = e16 = None
+    e15 = e16 = e17 = None
     if "E4" in selected:
         bench["e4_ring_cost"] = bench_e4()
     if "E5" in selected:
@@ -163,6 +165,9 @@ def main(argv: list[str]) -> int:
     if "E16" in selected:
         e16, snapshot = bench_e16()
         bench["e16_metering_audit"] = e16
+    if "E17" in selected:
+        e17, snapshot = smp_bench_numbers()
+        bench["e17_smp"] = e17
     if snapshot is None:
         snapshot = _boot_snapshot()
     bench["total_wall_seconds"] = round(time.perf_counter() - t0, 3)
@@ -187,6 +192,10 @@ def main(argv: list[str]) -> int:
               f"{e16['simulated_clock_unmetered']}  "
               f"denials {e16['log_denials']}/{e16['trail_denials']} "
               f"(dropped {e16['trail_dropped']})")
+    if e17 is not None:
+        print(f"  SMP speedup x{e17['speedup_2cpu']} at 2 CPUs  "
+              f"1-CPU identity {e17['one_cpu_identity']}  "
+              f"replay identical {e17['deterministic_replay']}")
     return 0
 
 

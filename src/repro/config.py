@@ -116,6 +116,11 @@ class CostModel:
     interrupt_in_process: int = 60
     #: Cost of converting an interrupt into a wakeup of a dedicated process.
     interrupt_to_wakeup: int = 10
+    #: Cost of dispatching a job onto a CPU of the SMP complex (connect
+    #: and re-load of the processor state).  Zero by default so a
+    #: one-CPU complex reproduces the uniprocessor clock exactly
+    #: (bench E17's identity leg).
+    smp_dispatch: int = 0
 
 
 @dataclass
@@ -139,6 +144,12 @@ class SystemConfig:
     disk_frames: int = 4096
     #: Physical processors.
     n_processors: int = 2
+    #: Physical CPUs of the SMP execution complex (repro.hw.smp).  None
+    #: means "same as n_processors", keeping the two views of the
+    #: hardware — the traffic controller's processor slots and the
+    #: instruction-executing CPU complex — in step unless a bench pulls
+    #: them apart deliberately.
+    n_cpus: int | None = None
     #: Fixed number of level-1 virtual processors (paper: "a larger fixed
     #: number of virtual processors").  Must leave room for the
     #: permanently dedicated kernel processes (two page-control freers
@@ -197,6 +208,10 @@ class SystemConfig:
 
     costs: CostModel = field(default_factory=CostModel)
 
+    def cpu_count(self) -> int:
+        """Physical CPUs in the SMP execution complex."""
+        return self.n_processors if self.n_cpus is None else self.n_cpus
+
     def cross_ring_penalty(self) -> int:
         """Extra cycles a cross-ring call costs under the configured rings."""
         if self.ring_mode is RingMode.SOFTWARE_645:
@@ -215,7 +230,10 @@ class SystemConfig:
             raise ValueError("disk smaller than bulk store is not supported")
         if self.n_processors < 1:
             raise ValueError("need at least one processor")
-        if self.n_virtual_processors < self.n_processors:
+        if self.n_cpus is not None and self.n_cpus < 1:
+            raise ValueError("need at least one CPU")
+        if self.n_virtual_processors < max(self.n_processors,
+                                           self.cpu_count()):
             raise ValueError("need at least one virtual processor per CPU")
         if self.quantum <= 0:
             raise ValueError("quantum must be positive")

@@ -28,6 +28,7 @@ from typing import Callable, Protocol
 
 from repro.config import CostModel, RingMode
 from repro.errors import IllegalInstruction, MissingPageFault, ReproError
+from repro.hw.assoc import AssociativeMemory
 from repro.hw.memory import MemoryLevel
 from repro.hw.rings import call_check, call_cost
 from repro.hw.segmentation import (
@@ -163,6 +164,8 @@ class CPU:
         tracer: Tracer | None = None,
         am_enabled: bool = True,
         meters=None,
+        cpu_id: int = 0,
+        private_am: AssociativeMemory | None = None,
     ) -> None:
         self.core = core
         self.costs = costs
@@ -171,13 +174,28 @@ class CPU:
         self.on_missing_page = on_missing_page
         self.on_linkage_fault = on_linkage_fault
         self.tracer = tracer or NULL_TRACER
-        #: Consult the executing context's associative memory
-        #: (ctx.dseg.am) on every reference and instruction fetch.
+        #: Consult an associative memory on every reference and
+        #: instruction fetch.
         self.am_enabled = am_enabled
         #: Optional metering plane (repro.obs.meters): :meth:`execute`
         #: attributes its cycle deltas to the executing context.
         self.meters = meters
+        #: Which CPU of the complex this is (0 on a uniprocessor).
+        self.cpu_id = cpu_id
+        #: A per-CPU associative memory, as on the real 6180 where the
+        #: AM is processor hardware, not process state.  When set, it is
+        #: used *instead of* the per-process ``ctx.dseg.am`` and cleared
+        #: (full cam) whenever the CPU is connected to a different
+        #: descriptor segment — the dseg switch the hardware cams on.
+        self.private_am = private_am
+        self._am_dseg: DescriptorSegment | None = None
         self.cycles = 0
+        #: Cycles this CPU spent stalled — waiting out another CPU's
+        #: kernel-lock hold window plus serialized fault service.  Kept
+        #: apart from :attr:`cycles` so the uniprocessor cycle counts
+        #: (and every pre-SMP bench identity) are untouched; the SMP
+        #: complex advances the shared clock by busy + stall.
+        self.stall_cycles = 0
         #: Counters for the benches.  The two translation-cost splits
         #: partition every translation cycle charged above: cycles ==
         #: am_hit_cycles + walk_cycles + (instruction, call and core
@@ -202,8 +220,33 @@ class CPU:
             metrics.counter("cpu.walk_cycles",
                             "translation cycles spent on full walks",
                             source=lambda: self.walk_cycles)
+            metrics.counter("cpu.stall_cycles",
+                            "cycles stalled on kernel locks",
+                            source=lambda: self.stall_cycles)
         if meters is not None:
             meters.register_cpu(self)
+
+    def stall(self, cycles: int) -> None:
+        """Charge lock-wait / serialized-service cycles to this CPU."""
+        self.stall_cycles += cycles
+
+    def _am_for(self, ctx: MachineContext) -> AssociativeMemory | None:
+        """The associative memory consulted for ``ctx``'s references.
+
+        With a private (per-CPU) AM, connecting the CPU to a different
+        descriptor segment cams it first: entries witnessed against the
+        previous process's dseg must never satisfy another process's
+        references.
+        """
+        if not self.am_enabled:
+            return None
+        if self.private_am is None:
+            return ctx.dseg.am
+        if self._am_dseg is not ctx.dseg:
+            if self._am_dseg is not None:
+                self.private_am.cam()
+            self._am_dseg = ctx.dseg
+        return self.private_am
 
     # -- memory helpers ---------------------------------------------------
 
@@ -211,7 +254,7 @@ class CPU:
                    intent: Intent) -> tuple[int, int]:
         """One checked reference, with page faults serviced and the
         translation cost (AM hit vs full walk) charged."""
-        am = ctx.dseg.am if self.am_enabled else None
+        am = self._am_for(ctx)
         while True:
             try:
                 if am is None:
@@ -298,6 +341,40 @@ class CPU:
         args: list[int] | None = None,
         max_instructions: int = 1_000_000,
     ) -> int:
+        runner = self._run(ctx, segno, entry, args, max_instructions)
+        try:
+            while True:
+                next(runner)
+        except StopIteration as stop:
+            return stop.value
+
+    def stepper(
+        self,
+        ctx: MachineContext,
+        segno: int,
+        entry: int = 0,
+        args: list[int] | None = None,
+        max_instructions: int = 1_000_000,
+    ):
+        """A resumable execution: a generator that yields before each
+        instruction and returns the program's result via StopIteration.
+
+        This is the SMP complex's hook: it advances each CPU's runner a
+        bounded number of cycles per lockstep round, giving a
+        deterministic interleaving on the simulated clock.  Unlike
+        :meth:`execute`, no metering wrap is applied — the complex
+        attributes cycles itself, per slice.
+        """
+        return self._run(ctx, segno, entry, args, max_instructions)
+
+    def _run(
+        self,
+        ctx: MachineContext,
+        segno: int,
+        entry: int = 0,
+        args: list[int] | None = None,
+        max_instructions: int = 1_000_000,
+    ):
         code = ctx.code_segment(segno)
         # Instruction fetch legality for the *initial* transfer: treat it
         # like a call from the current ring.
@@ -313,9 +390,10 @@ class CPU:
         ctx.ring = new_ring
         pc = entry
         executed = 0
-        am = ctx.dseg.am if self.am_enabled else None
+        am = self._am_for(ctx)
 
         while True:
+            yield
             if executed >= max_instructions:
                 raise ExecutionLimit(
                     f"exceeded {max_instructions} instructions"

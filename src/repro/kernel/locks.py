@@ -1,0 +1,144 @@
+"""Kernel lock discipline for the SMP simulation.
+
+The Honeywell 6180 ran Multics symmetrically on several processors, and
+the kernel serialized its shared tables with a handful of global locks:
+the *traffic-control lock* around the ready queues and dispatch, the
+*page-table lock* (``ptl``) around page control's resident census and
+frame moves, and per-AST locks around segment activation.  This module
+models those locks on the **simulated** timeline.
+
+Two facts shape the model:
+
+1. The simulation itself is single-threaded Python — a lock here never
+   protects Python state from a data race.  What it models is the
+   *simulated-time cost* of serialization: when two simulated CPUs'
+   critical sections overlap on the simulated clock, the later arrival
+   waits out the remainder of the earlier one's hold window.
+
+2. On a uniprocessor (and on the discrete-event path, where the engine
+   runs events serially), critical sections can never overlap, so an
+   acquisition is free.  That matches the hardware: a lock only costs
+   anything when another processor holds it.
+
+Protocol: ``wait = lock.acquire(now, owner)`` obtains the lock at
+simulated time ``now + wait``; the caller then charges ``wait`` to its
+own timeline and, once it knows how long the critical section ran,
+extends the hold window with ``lock.hold(cycles)``.  Re-acquisition by
+the *same* owner never waits (one processor cannot race itself — its
+operations are sequential by construction), and ``owner=None`` marks
+the globally-serialized discrete-event context, which neither waits nor
+blocks anyone.  Every acquisition is counted, so the lock-discipline
+audit (which paths serialize where) is visible in the ``lock.*``
+metrics even when contention is impossible.
+"""
+
+from __future__ import annotations
+
+
+class KernelLock:
+    """One global kernel lock on the simulated timeline."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Simulated time until which the current hold window runs.
+        self._held_until = 0
+        self._owner: object | None = None
+        # Accounting (registered under ``lock.<name>.*`` by LockTable).
+        self.acquisitions = 0
+        self.contentions = 0
+        self.contention_cycles = 0
+
+    def acquire(self, now: int = 0, owner: object | None = None) -> int:
+        """Obtain the lock at simulated time ``now``.
+
+        Returns the cycles the caller waits before holding it: zero
+        unless a *different* owner's hold window covers ``now``.  The
+        caller charges the wait to its own timeline (stall, Charge, or
+        cost return — whatever its layer uses).
+        """
+        wait = 0
+        if (
+            owner is not None
+            and self._owner is not None
+            and owner is not self._owner
+            and now < self._held_until
+        ):
+            wait = self._held_until - now
+            self.contentions += 1
+            self.contention_cycles += wait
+        self.acquisitions += 1
+        self._owner = owner
+        self._held_until = max(self._held_until, now + wait)
+        return wait
+
+    def hold(self, cycles: int) -> None:
+        """Extend the current critical section by ``cycles``.
+
+        Called by the holder once it knows how long the serialized work
+        took (e.g. page control after computing a fault's service cost).
+        """
+        if cycles < 0:
+            raise ValueError("cannot hold a lock for negative cycles")
+        self._held_until += cycles
+
+    @property
+    def held_until(self) -> int:
+        """Simulated time the current hold window ends (for tests)."""
+        return self._held_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<KernelLock {self.name} until={self._held_until} "
+            f"acq={self.acquisitions} cont={self.contentions}>"
+        )
+
+
+class LockTable:
+    """The kernel's named locks, with ``lock.*`` metrics registration.
+
+    The set of locks is fixed (it is part of the kernel's certifiable
+    surface, like the gate table): ``tc`` — traffic control (ready
+    queues, dispatch); ``ptl`` — the global page-table lock (resident
+    census, frame moves, fault service); ``ast`` — segment control
+    (activation / deactivation of page tables).
+    """
+
+    NAMES = ("tc", "ptl", "ast")
+
+    def __init__(self, metrics=None) -> None:
+        self._locks = {name: KernelLock(name) for name in self.NAMES}
+        if metrics is not None:
+            for name, lock in self._locks.items():
+                metrics.counter(
+                    f"lock.{name}.acquisitions",
+                    f"{name} lock acquisitions",
+                    source=lambda lk=lock: lk.acquisitions,
+                )
+                metrics.counter(
+                    f"lock.{name}.contentions",
+                    f"{name} lock acquisitions that waited",
+                    source=lambda lk=lock: lk.contentions,
+                )
+                metrics.counter(
+                    f"lock.{name}.contention_cycles",
+                    f"simulated cycles spent waiting for the {name} lock",
+                    source=lambda lk=lock: lk.contention_cycles,
+                )
+
+    def __getitem__(self, name: str) -> KernelLock:
+        return self._locks[name]
+
+    @property
+    def tc(self) -> KernelLock:
+        return self._locks["tc"]
+
+    @property
+    def ptl(self) -> KernelLock:
+        return self._locks["ptl"]
+
+    @property
+    def ast(self) -> KernelLock:
+        return self._locks["ast"]
+
+    def total_contention_cycles(self) -> int:
+        return sum(lk.contention_cycles for lk in self._locks.values())

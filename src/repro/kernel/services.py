@@ -26,6 +26,7 @@ from repro.hw.clock import Simulator
 from repro.hw.interrupts import InterruptController
 from repro.hw.memory import MemoryHierarchy
 from repro.hw.segmentation import Intent, translate
+from repro.kernel.locks import LockTable
 from repro.obs import AuditTrail, Meters, MetricsRegistry, Tracer
 from repro.proc.scheduler import TrafficController
 from repro.security.audit import AuditLog
@@ -86,9 +87,13 @@ class KernelServices:
         #: Per-process/per-gate cycle attribution (repro.obs.meters);
         #: accumulation is plain integers, never simulated cycles.
         self.meters = Meters(enabled=config.metering)
+        #: The kernel's global locks (traffic control, page table, AST):
+        #: the serialization points the paper's SMP kernel pins down.
+        self.locks = LockTable(metrics=self.metrics)
         self.scheduler = TrafficController(self.sim, config,
                                            metrics=self.metrics,
-                                           meters=self.meters)
+                                           meters=self.meters,
+                                           locks=self.locks)
         #: The bounded, exportable security-audit trail; every record
         #: the kernel AuditLog takes is forwarded here.
         self.audit_trail = AuditTrail(capacity=config.audit_capacity,
@@ -111,7 +116,7 @@ class KernelServices:
         self.retry_policy = RetryPolicy.from_config(config)
         self.hierarchy = MemoryHierarchy(config, injector=self.injector,
                                          metrics=self.metrics)
-        self.ast = ActiveSegmentTable(self.hierarchy)
+        self.ast = ActiveSegmentTable(self.hierarchy, lock=self.locks.ast)
         self.interrupts = InterruptController(self.sim.clock,
                                               metrics=self.metrics,
                                               tracer=self.tracer)
@@ -125,6 +130,7 @@ class KernelServices:
             config,
             metrics=self.metrics,
             tracer=self.tracer,
+            locks=self.locks,
         )
         self.ufs = UidFileSystem(self.ast, page_control=self.page_control)
         root_uid = self.ufs.create_segment(

@@ -74,6 +74,28 @@ class ProcessMeter:
 
 
 @dataclass
+class CpuMeter:
+    """Per-CPU attribution bucket for the SMP complex.
+
+    Busy cycles are instructions, translations and calls the CPU
+    charged; stall cycles are time spent waiting out another CPU's
+    kernel-lock hold window (plus the serialized fault service under
+    it).  Both are simulated cycles on the lockstep timeline.
+    """
+
+    cpu_id: int
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+    slices: int = 0
+    jobs: int = 0
+
+    @property
+    def stall_fraction(self) -> float:
+        total = self.busy_cycles + self.stall_cycles
+        return self.stall_cycles / total if total else 0.0
+
+
+@dataclass
 class GateMeter:
     """Call census for one supervisor gate."""
 
@@ -98,6 +120,8 @@ class Meters:
         self._buckets: dict[int, ProcessMeter] = {}
         #: gate name -> meter.
         self._gates: dict[str, GateMeter] = {}
+        #: cpu id -> per-CPU bucket (fed by the SMP complex's slices).
+        self._cpu_meters: dict[int, CpuMeter] = {}
         #: Every CPU built with these meters (denominator source).
         self._cpus: list = []
         # Denominator sources bound by the owning KernelServices; a
@@ -199,6 +223,22 @@ class Meters:
         bucket.am_hit_cycles += am_hit_cycles
         bucket.walk_cycles += walk_cycles
         bucket.ring_crossings += crossings
+
+    def note_cpu_slice(self, cpu_id: int, busy: int, stall: int,
+                       jobs: int = 0) -> None:
+        """One lockstep slice on one CPU of the SMP complex."""
+        if not self.enabled:
+            return
+        meter = self._cpu_meters.get(cpu_id)
+        if meter is None:
+            meter = self._cpu_meters[cpu_id] = CpuMeter(cpu_id)
+        meter.busy_cycles += busy
+        meter.stall_cycles += stall
+        meter.slices += 1
+        meter.jobs += jobs
+
+    def cpu_meter(self, cpu_id: int) -> CpuMeter | None:
+        return self._cpu_meters.get(cpu_id)
 
     # -- per-process readbacks ------------------------------------------
 
@@ -303,6 +343,24 @@ class Meters:
             "meter.gates", "gates with a call meter",
             source=lambda: len(self._gates),
         )
+        registry.counter(
+            "meter.smp_busy_cycles",
+            "busy cycles attributed to SMP complex CPUs",
+            source=lambda: sum(
+                m.busy_cycles for m in self._cpu_meters.values()
+            ),
+        )
+        registry.counter(
+            "meter.smp_stall_cycles",
+            "lock-stall cycles attributed to SMP complex CPUs",
+            source=lambda: sum(
+                m.stall_cycles for m in self._cpu_meters.values()
+            ),
+        )
+        registry.gauge(
+            "meter.cpus", "CPUs with an attribution bucket",
+            source=lambda: len(self._cpu_meters),
+        )
 
     # -- the Multics-style reports --------------------------------------
 
@@ -346,6 +404,22 @@ class Meters:
                 f"{self.process_page_faults(pid):>7} "
                 f"{self.process_fault_wait(pid):>11} "
                 f"{b.gate_entries:>6} {b.ring_crossings:>6}"
+            )
+        return "\n".join(lines)
+
+    def processor_meters(self) -> str:
+        """Per-CPU slice accounting for the SMP complex."""
+        lines = [
+            "PROCESSOR METERS",
+            f"  {'cpu':>4} {'busy':>12} {'stall':>10} {'stall %':>8} "
+            f"{'slices':>7} {'jobs':>6}",
+        ]
+        for cpu_id in sorted(self._cpu_meters):
+            m = self._cpu_meters[cpu_id]
+            lines.append(
+                f"  {cpu_id:>4} {m.busy_cycles:>12} {m.stall_cycles:>10} "
+                f"{100.0 * m.stall_fraction:>7.2f}% "
+                f"{m.slices:>7} {m.jobs:>6}"
             )
         return "\n".join(lines)
 

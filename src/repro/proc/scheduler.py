@@ -62,14 +62,28 @@ class TrafficController:
         config: SystemConfig,
         metrics: MetricsRegistry | None = None,
         meters=None,
+        locks=None,
     ) -> None:
         self.sim = sim
         self.config = config
         #: Optional metering plane (repro.obs.meters): every admitted
         #: process gets an attribution bucket.
         self.meters = meters
+        #: The global traffic-control lock: every mutation of the ready
+        #: queues and every dispatch decision is made while holding it.
+        #: On the discrete-event path (events run serially) acquisition
+        #: is free; the SMP complex acquires it with a real owner and
+        #: timestamp, so concurrent dispatchers serialize on it.
+        if locks is not None:
+            self.tc_lock = locks.tc
+        else:
+            # Deferred import: repro.proc must stay importable without
+            # dragging in the kernel package (layering).
+            from repro.kernel.locks import KernelLock
+
+            self.tc_lock = KernelLock("tc")
         self.vpt = VirtualProcessorTable(config.n_virtual_processors)
-        self.processors = [Processor(i) for i in range(config.n_processors)]
+        self.processors = [Processor(i) for i in range(config.cpu_count())]
         self._ready_kernel: deque[Process] = deque()
         self._ready_user: deque[Process] = deque()
         self._vp_wait: deque[Process] = deque()
@@ -123,6 +137,7 @@ class TrafficController:
         """Admit a process; dedicated processes get their own VP now."""
         if process in self.processes:
             raise ValueError(f"{process} already admitted")
+        self.tc_lock.acquire(self.sim.clock.now)
         self.processes.append(process)
         if self.meters is not None:
             self.meters.track(process)
@@ -160,6 +175,7 @@ class TrafficController:
         channel's guard; kernel-originated wakeups pass ``sender=None``.
         """
         channel.check_sender(sender)
+        self.tc_lock.acquire(self.sim.clock.now)
         channel.wakeups_sent += 1
         if channel.waiters:
             process = channel.waiters.popleft()
@@ -208,6 +224,7 @@ class TrafficController:
         return None
 
     def _dispatch(self) -> None:
+        self.tc_lock.acquire(self.sim.clock.now)
         for processor in self.processors:
             if not processor.idle:
                 continue

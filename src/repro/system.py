@@ -217,6 +217,31 @@ class MulticsSystem:
     def add_process(self, process: Process) -> None:
         self.services.scheduler.add_process(process)
 
+    def cpu_complex(self, n_cpus: int | None = None) -> "SmpComplex":
+        """Build the SMP execution complex over this system's kernel.
+
+        ``n_cpus`` defaults to ``config.cpu_count()``.  The complex's
+        CPUs share core memory, page control (under the page-table
+        lock), and the traffic-control lock with the rest of the
+        system; each has its own associative memory.  Execution is
+        deterministic lockstep — see :mod:`repro.hw.smp`.
+        """
+        from repro.hw.smp import SmpComplex
+
+        services = self.services
+        return SmpComplex(
+            sim=services.sim,
+            config=self.config,
+            core=services.hierarchy.core,
+            page_control=services.page_control,
+            ast=services.ast,
+            tc_lock=services.scheduler.tc_lock,
+            metrics=services.metrics,
+            tracer=services.tracer,
+            meters=services.meters,
+            n_cpus=n_cpus,
+        )
+
     # -- convenience handles ------------------------------------------------------------
 
     @property
@@ -460,6 +485,31 @@ class Session:
         if self._legacy:
             return self.call("lk_$make_linkage", segno)
         return self.linker.load_object(segno)
+
+    def program_job(self, segno: int, entry: str = "main",
+                    args: list[int] | None = None,
+                    max_instructions: int = 1_000_000,
+                    label: str = ""):
+        """A :class:`repro.hw.smp.CpuJob` running an installed program
+        as this session's process (for ``MulticsSystem.cpu_complex``).
+
+        The program is loaded (linked) first if needed, so the complex
+        never takes a linkage fault mid-round.
+        """
+        from repro.hw.smp import CpuJob
+
+        code = self.process.code_segments.get(segno)
+        if code is None:
+            self.load_program(segno)
+            code = self.process.code_segments[segno]
+        return CpuJob(
+            ctx=self.process,
+            segno=segno,
+            entry=code.entry_points.get(entry, 0),
+            args=list(args or []),
+            max_instructions=max_instructions,
+            label=label or f"{self.process.name}:{entry}",
+        )
 
     def run_program(self, segno: int, entry: str = "main",
                     args: list[int] | None = None) -> int:

@@ -80,6 +80,7 @@ class PageControl:
         policy: ReplacementPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        locks=None,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
@@ -88,6 +89,13 @@ class PageControl:
         self.config = config
         self.policy = policy or make_policy("clock")
         self.tracer = tracer or NULL_TRACER
+        #: The global page-table lock (repro.kernel.locks): every fault
+        #: service and frame move happens under it.  On the
+        #: discrete-event path acquisitions are free (events are
+        #: serial); the SMP complex passes a real timestamp and owner to
+        #: :meth:`service_sync` so concurrent faulters serialize here —
+        #: exactly where the paper's kernel serializes them.
+        self.ptl = locks.ptl if locks is not None else None
         #: (uid, pageno) -> ResidentPage for every page in core.
         self.resident: dict[tuple[int, int], ResidentPage] = {}
         #: FIFO census of pages on the bulk store.
@@ -231,6 +239,8 @@ class PageControl:
         pages now live in disk frames; whether those frames are cleared
         when later freed is the residue question of experiment E11.
         """
+        if self.ptl is not None:
+            self.ptl.acquire(self.sim.clock.now)
         written = 0
         for pageno in aseg.resident_pages():
             ptw = aseg.ptws[pageno]
@@ -253,6 +263,8 @@ class PageControl:
     def flush_segment(self, aseg: ActiveSegment) -> None:
         """Throw every page of a segment out of core and off the bulk
         store census (used when a segment is deleted)."""
+        if self.ptl is not None:
+            self.ptl.acquire(self.sim.clock.now)
         for pageno in aseg.resident_pages():
             ptw = aseg.ptws[pageno]
             self.hierarchy.core.free(ptw.frame)
@@ -343,14 +355,28 @@ class PageControl:
     # synchronous servicing (for CPU-driven execution outside the DES)
     # ------------------------------------------------------------------
 
-    def service_sync(self, aseg: ActiveSegment, pageno: int) -> int:
+    def service_sync(self, aseg: ActiveSegment, pageno: int,
+                     now: int | None = None, owner=None) -> int:
         """Service a fault immediately, returning the cycle cost.
 
         Used by the CPU's missing-page callback, where execution is
         synchronous.  Both designs do the same data movement here; the
         structural difference between them is only observable in the
         discrete-event path.
+
+        ``now``/``owner`` are the SMP complex's concurrency handles: the
+        fault is serialized under the global page-table lock at virtual
+        time ``now``, any wait for another CPU's hold window is added to
+        the returned cycles, and the service cost extends the hold so
+        later faulters on other CPUs wait in turn.  Without them
+        (uniprocessor / discrete-event callers) the lock is acquired for
+        accounting only and the cost is unchanged.
         """
+        wait = 0
+        if self.ptl is not None:
+            wait = self.ptl.acquire(
+                self.sim.clock.now if now is None else now, owner
+            )
         sid = -1
         if self.tracer.enabled:
             sid = self.tracer.begin(
@@ -361,7 +387,7 @@ class PageControl:
         try:
             while True:
                 if aseg.ptws[pageno].in_core:
-                    return cost
+                    return cost + wait
                 if self.hierarchy.core.free_count == 0:
                     if self.hierarchy.bulk.free_count == 0:
                         cost += self._evict_bulk_move()
@@ -372,8 +398,13 @@ class PageControl:
                 except OutOfFrames:
                     continue
                 self.faults_serviced += 1
-                return cost
+                return cost + wait
         finally:
+            if owner is not None and self.ptl is not None:
+                # Only a real (SMP) owner extends the hold window: the
+                # serialized discrete-event path must never manufacture
+                # contention for later callers.
+                self.ptl.hold(cost)
             self.tracer.end(sid, cost=cost)
 
     # ------------------------------------------------------------------
@@ -394,6 +425,10 @@ class SequentialPageControl(PageControl):
     def fault(self, process: Process, aseg: ActiveSegment, pageno: int):
         process.page_faults += 1
         started = yield Now()
+        if self.ptl is not None:
+            # Discrete-event faulters run serially, so the acquisition
+            # is free; it still counts toward the lock discipline.
+            self.ptl.acquire(started)
         sid = -1
         if self.tracer.enabled:
             sid = self.tracer.begin(
@@ -510,6 +545,8 @@ class ParallelPageControl(PageControl):
         """The greatly simplified path: wait for a frame, transfer."""
         process.page_faults += 1
         started = yield Now()
+        if self.ptl is not None:
+            self.ptl.acquire(started)
         sid = -1
         if self.tracer.enabled:
             sid = self.tracer.begin(
@@ -555,6 +592,7 @@ def make_page_control(
     policy: ReplacementPolicy | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    locks=None,
 ) -> PageControl:
     """Build (and for the parallel design, install) page control."""
     cls = {
@@ -562,6 +600,6 @@ def make_page_control(
         PageControlKind.PARALLEL: ParallelPageControl,
     }[kind]
     control = cls(sim, scheduler, hierarchy, ast, config, policy,
-                  metrics=metrics, tracer=tracer)
+                  metrics=metrics, tracer=tracer, locks=locks)
     control.install()
     return control

@@ -57,11 +57,22 @@ class ActiveSegment:
 class ActiveSegmentTable:
     """The kernel's table of active segments, keyed by UID."""
 
-    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+    def __init__(self, hierarchy: MemoryHierarchy, lock=None) -> None:
         self.hierarchy = hierarchy
+        #: The AST lock (repro.kernel.locks): every activation,
+        #: deactivation and destruction of a page table is made while
+        #: holding it.  Acquisitions here are accounting-only — AST
+        #: mutations happen on the serialized kernel paths — but the
+        #: discipline (which operations serialize on which lock) is
+        #: explicit and visible in the ``lock.ast.*`` metrics.
+        self.lock = lock
         self._segments: dict[int, ActiveSegment] = {}
         self.activations = 0
         self.deactivations = 0
+
+    def _locked(self) -> None:
+        if self.lock is not None:
+            self.lock.acquire()
 
     def __contains__(self, uid: int) -> bool:
         return uid in self._segments
@@ -86,6 +97,7 @@ class ActiveSegmentTable:
         ``initial_data`` optionally seeds page contents (used when a
         segment is created with content, e.g. a bootstrap image).
         """
+        self._locked()
         if uid in self._segments:
             seg = self._segments[uid]
             seg.connections += 1
@@ -108,6 +120,7 @@ class ActiveSegmentTable:
         (Page control is responsible for flushing first; requiring it
         here keeps the invariant visible.)
         """
+        self._locked()
         seg = self.get(uid)
         seg.connections -= 1
         if seg.connections > 0:
@@ -121,6 +134,7 @@ class ActiveSegmentTable:
 
     def destroy(self, uid: int) -> None:
         """Free every page home of a (deactivatable) segment."""
+        self._locked()
         seg = self.get(uid)
         if seg.resident_pages():
             raise RuntimeError(f"segment {uid} still has pages in core")
@@ -135,6 +149,7 @@ class ActiveSegmentTable:
         Core frames must already have been released (page control's
         ``flush_segment`` does that).
         """
+        self._locked()
         seg = self.get(uid)
         if seg.resident_pages():
             raise RuntimeError(f"segment {uid} still has pages in core")

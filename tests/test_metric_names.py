@@ -44,6 +44,7 @@ def registered_names() -> set[str]:
         system.register_user("Alice", "Crypto", "pw")
         session = system.login("Alice", "Crypto", "pw")
         session.make_cpu()  # cpu.* names register per-CPU
+        system.cpu_complex(n_cpus=2)  # smp.* names register per-complex
         names.update(system.metrics.names())
     return names
 
