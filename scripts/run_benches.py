@@ -1,21 +1,22 @@
 #!/usr/bin/env python
-"""Run the dynamic benches headlessly and export ``BENCH_pr5.json``.
+"""Run the dynamic benches headlessly and export ``BENCH_pr6.json``.
 
 Collects the numbers a CI job or a reviewer wants without the pytest
 benchmark machinery: wall-clock seconds, simulated cycles,
-associative-memory hit rates, metering/audit attribution, and SMP
-throughput for the hot-path workloads (E4 ring crossings, E5
-page-fault storm, E15 associative memory, E16 metering & audit, E17
-SMP lockstep).  The document is a real metrics snapshot (schema
-``repro.obs/v1``, validated before writing) with a ``bench`` section
-of derived numbers, written to ``benchmarks/results/BENCH_pr5.json``
-so ``scripts/check_bench_schema.py`` guards it like every other
-export.
+associative-memory hit rates, metering/audit attribution, SMP
+throughput, and chaos-storm containment for the hot-path workloads
+(E4 ring crossings, E5 page-fault storm, E15 associative memory, E16
+metering & audit, E17 SMP lockstep, R2 chaos storm).  The document is
+a real metrics snapshot (schema ``repro.obs/v1``, validated before
+writing) with a ``bench`` section of derived numbers, written to
+``benchmarks/results/BENCH_pr6.json`` so
+``scripts/check_bench_schema.py`` guards it like every other export.
 
 ``--only`` selects a subset by experiment id (comma-separated) — the
 same workloads pytest selects with the ``bench`` marker
 (``pytest -m bench benchmarks/``); this runner just skips the
-collection machinery.
+collection machinery.  An unknown or empty id list is an error that
+names the known ids, never a silent no-op run.
 
 Usage::
 
@@ -44,10 +45,11 @@ from test_e15_assoc_memory import (  # noqa: E402
 )
 from test_e16_metering import combined_workload  # noqa: E402
 from test_e17_smp import bench_numbers as smp_bench_numbers  # noqa: E402
+from test_r2_chaos import bench_numbers as chaos_bench_numbers  # noqa: E402
 
 #: Experiment ids this runner knows, in execution order.  These are the
 #: same workloads pytest runs under the ``bench`` marker.
-BENCH_IDS = ("E4", "E5", "E15", "E16", "E17")
+BENCH_IDS = ("E4", "E5", "E15", "E16", "E17", "R2")
 
 
 def bench_e4() -> dict:
@@ -141,20 +143,24 @@ def main(argv: list[str]) -> int:
         only = {part.strip().upper()
                 for part in args[at + 1].split(",") if part.strip()}
         del args[at:at + 2]
+        if not only:
+            print("run_benches: --only selected no benches "
+                  f"(known: {', '.join(BENCH_IDS)})", file=sys.stderr)
+            return 2
         unknown = only - set(BENCH_IDS)
         if unknown:
             print(f"run_benches: unknown bench ids {sorted(unknown)} "
                   f"(known: {', '.join(BENCH_IDS)})", file=sys.stderr)
             return 2
 
-    default = _ROOT / "benchmarks" / "results" / "BENCH_pr5.json"
+    default = _ROOT / "benchmarks" / "results" / "BENCH_pr6.json"
     out_path = pathlib.Path(args[0]) if args else default
     selected = [b for b in BENCH_IDS if only is None or b in only]
 
     t0 = time.perf_counter()
     bench: dict = {}
     snapshot: dict | None = None
-    e15 = e16 = e17 = None
+    e15 = e16 = e17 = r2 = None
     if "E4" in selected:
         bench["e4_ring_cost"] = bench_e4()
     if "E5" in selected:
@@ -168,6 +174,9 @@ def main(argv: list[str]) -> int:
     if "E17" in selected:
         e17, snapshot = smp_bench_numbers()
         bench["e17_smp"] = e17
+    if "R2" in selected:
+        r2, snapshot = chaos_bench_numbers()
+        bench["r2_chaos"] = r2
     if snapshot is None:
         snapshot = _boot_snapshot()
     bench["total_wall_seconds"] = round(time.perf_counter() - t0, 3)
@@ -196,6 +205,12 @@ def main(argv: list[str]) -> int:
         print(f"  SMP speedup x{e17['speedup_2cpu']} at 2 CPUs  "
               f"1-CPU identity {e17['one_cpu_identity']}  "
               f"replay identical {e17['deterministic_replay']}")
+    if r2 is not None:
+        print(f"  chaos: {r2['chaos_events']} events / "
+              f"{r2['faults_injected']} faults  "
+              f"delivered {r2['messages_delivered']}/{r2['messages_sent']}  "
+              f"salvage clean {r2['salvage_clean']}  "
+              f"replay identical {r2['deterministic_replay']}")
     return 0
 
 

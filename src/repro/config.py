@@ -179,6 +179,10 @@ class SystemConfig:
     #: Optional deterministic fault-injection plan (repro.faults.plan).
     #: None means the hardware never fails — the seed behaviour.
     fault_plan: "FaultPlan | None" = None
+    #: Optional network topology spec (repro.io.topology.validate_spec
+    #: describes the shape).  None builds the default single-uplink
+    #: topology around the network attachment.
+    topology: dict | None = None
     #: Bounded-retry budget for device and page I/O recovery.
     max_io_retries: int = 3
     #: Base backoff, in simulated cycles, between I/O retries (doubles
@@ -254,3 +258,7 @@ class SystemConfig:
             raise ValueError(f"audit_level must be one of {LEVELS}")
         if self.audit_capacity <= 0:
             raise ValueError("audit_capacity must be positive")
+        if self.topology is not None:
+            from repro.io.topology import validate_spec
+
+            validate_spec(self.topology)

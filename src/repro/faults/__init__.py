@@ -22,8 +22,21 @@ be asserted under fire, not just on the happy path:
 * :mod:`repro.faults.harness` — the crash-recovery harness: kills a
   system mid-workload, reboots from the same backing store, salvages,
   and checks that no ACL/MAC decision changed under any injected fault.
+* :mod:`repro.faults.chaos` — the scenario engine: declarative
+  :class:`ChaosScenario` storms (timed / random / targeted
+  controllers) commanding link faults and mid-run CPU loss through the
+  same injector, deterministically.
 """
 
+from repro.faults.chaos import (
+    CPU_LOSS_KIND,
+    CPU_LOSS_SITE,
+    ChaosEngine,
+    ChaosScenario,
+    RandomController,
+    TargetedController,
+    TimedController,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.faults.recovery import RetryPolicy, retry_call
@@ -50,4 +63,11 @@ __all__ = [
     "mark_clean",
     "mark_running",
     "read_marker",
+    "ChaosScenario",
+    "ChaosEngine",
+    "TimedController",
+    "RandomController",
+    "TargetedController",
+    "CPU_LOSS_SITE",
+    "CPU_LOSS_KIND",
 ]

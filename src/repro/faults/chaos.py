@@ -1,0 +1,346 @@
+"""Scenario-driven chaos: declarative storms over the fault plane.
+
+A :class:`FaultPlan` answers *"does this operation fail?"* — it is
+consulted per operation and cannot express "partition the east link at
+t=2000, then take CPU 1 offline mid-burst".  A :class:`ChaosScenario`
+expresses exactly that: a declarative description (dict or JSON — the
+Faultynet pattern) of *controllers* that decide, on the simulated
+clock, when and where to command faults:
+
+* :class:`TimedController`    — a fixed schedule of events at offsets
+  from the engine's start (the deterministic storyboard);
+* :class:`RandomController`   — every ``every`` cycles, a seeded RNG
+  picks one site and kind from configured pools;
+* :class:`TargetedController` — every ``every`` cycles, hits the
+  *busiest* link by live transit counts (the adversary that reads the
+  dashboards).
+
+All three are layered on the existing :class:`FaultInjector`: every
+commanded fault goes through :meth:`FaultInjector.force`, so it lands
+in the same audit trail and ``faults.*`` books as plan-driven
+injections, and the whole storm is a pure function of (scenario, seed,
+workload) — two same-seed runs inject identical faults at identical
+simulated times, which the determinism suite asserts byte-for-byte.
+
+Sites a scenario can command:
+
+* ``link.<name>`` with kinds ``drop`` / ``latency_spike`` /
+  ``partition`` / ``flap`` — applied to the named topology link;
+* ``cpu.loss`` with kind ``offline`` — removes a CPU from the SMP
+  complex mid-run; the interrupted job is requeued from its entry
+  point (lost time, never lost or corrupted data) and the removal is
+  booked as equipment degradation.
+
+The engine is *polled*: call :meth:`ChaosEngine.step` between lockstep
+rounds (``SmpComplex.run(on_round=...)`` does this) or workload
+phases.  Controllers fire every event whose time has come, in
+controller order — no background threads, no wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import TYPE_CHECKING
+
+from repro.io.topology import LINK_FAULT_KINDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+    from repro.hw.smp import SmpComplex
+    from repro.io.topology import NetworkTopology
+
+#: The site naming a CPU removal from the SMP complex.
+CPU_LOSS_SITE = "cpu.loss"
+#: The only kind ``cpu.loss`` understands.
+CPU_LOSS_KIND = "offline"
+
+_CONTROLLER_TYPES = ("timed", "random", "targeted")
+
+
+def _check_site_kind(site: object, kind: object, where: str) -> None:
+    if not isinstance(site, str) or not site:
+        raise ValueError(f"{where}: needs a site string")
+    if not isinstance(kind, str) or not kind:
+        raise ValueError(f"{where}: needs a kind string")
+    if site.startswith("link."):
+        if kind not in LINK_FAULT_KINDS:
+            raise ValueError(
+                f"{where}: link kind {kind!r} not in {LINK_FAULT_KINDS}"
+            )
+    elif site == CPU_LOSS_SITE:
+        if kind != CPU_LOSS_KIND:
+            raise ValueError(
+                f"{where}: {CPU_LOSS_SITE} only understands "
+                f"{CPU_LOSS_KIND!r}, got {kind!r}"
+            )
+    else:
+        raise ValueError(
+            f"{where}: unknown chaos site {site!r} "
+            "(want link.<name> or cpu.loss)"
+        )
+
+
+class ChaosScenario:
+    """A validated, declarative chaos storm description."""
+
+    def __init__(self, name: str, controllers: list[dict],
+                 seed: int = 0) -> None:
+        if not name:
+            raise ValueError("a scenario needs a name")
+        if not controllers:
+            raise ValueError(f"scenario {name!r}: needs controllers")
+        self.name = name
+        self.seed = seed
+        self.controllers = [dict(spec) for spec in controllers]
+        for index, spec in enumerate(self.controllers):
+            self._validate_controller(index, spec)
+
+    def _validate_controller(self, index: int, spec: dict) -> None:
+        where = f"scenario {self.name!r} controller #{index}"
+        kind = spec.get("type")
+        if kind not in _CONTROLLER_TYPES:
+            raise ValueError(
+                f"{where}: type must be one of {_CONTROLLER_TYPES}, "
+                f"got {kind!r}"
+            )
+        if kind == "timed":
+            events = spec.get("events")
+            if not isinstance(events, list) or not events:
+                raise ValueError(f"{where}: timed needs an events list")
+            for event in events:
+                if not isinstance(event, dict):
+                    raise ValueError(f"{where}: each event must be a dict")
+                at = event.get("at")
+                if not isinstance(at, int) or at < 0:
+                    raise ValueError(
+                        f"{where}: event 'at' must be a non-negative "
+                        "cycle offset"
+                    )
+                _check_site_kind(event.get("site"), event.get("kind"), where)
+        else:
+            every = spec.get("every")
+            if not isinstance(every, int) or every <= 0:
+                raise ValueError(f"{where}: needs a positive 'every'")
+            if kind == "random":
+                sites = spec.get("sites")
+                kinds = spec.get("kinds")
+                if not isinstance(sites, list) or not sites:
+                    raise ValueError(f"{where}: random needs a sites list")
+                if not isinstance(kinds, list) or not kinds:
+                    raise ValueError(f"{where}: random needs a kinds list")
+                for site in sites:
+                    for k in kinds:
+                        _check_site_kind(site, k, where)
+            else:  # targeted
+                k = spec.get("kind")
+                if k not in LINK_FAULT_KINDS:
+                    raise ValueError(
+                        f"{where}: targeted kind {k!r} not in "
+                        f"{LINK_FAULT_KINDS}"
+                    )
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ChaosScenario":
+        if not isinstance(spec, dict):
+            raise ValueError("scenario spec must be a dict")
+        unknown = set(spec) - {"name", "seed", "controllers"}
+        if unknown:
+            raise ValueError(f"scenario spec: unknown keys {sorted(unknown)}")
+        return cls(
+            name=spec.get("name", ""),
+            controllers=spec.get("controllers", []),
+            seed=spec.get("seed", 0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosScenario":
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# controllers
+# ---------------------------------------------------------------------------
+
+class TimedController:
+    """Fires a fixed storyboard of events at offsets from t0."""
+
+    def __init__(self, spec: dict) -> None:
+        self._events = sorted(spec["events"], key=lambda e: e["at"])
+        self._next = 0
+
+    def due(self, offset: int, engine: "ChaosEngine"):
+        while self._next < len(self._events):
+            event = self._events[self._next]
+            if event["at"] > offset:
+                return
+            self._next += 1
+            yield event["site"], event["kind"], event.get("cpu")
+
+
+class RandomController:
+    """Every ``every`` cycles, a seeded pick from site and kind pools."""
+
+    def __init__(self, spec: dict, seed: int, index: int) -> None:
+        self.every = spec["every"]
+        self.sites = list(spec["sites"])
+        self.kinds = list(spec["kinds"])
+        self.stop = spec.get("stop")
+        self._rng = random.Random(f"chaos|{seed}|random|{index}")
+        self._next_at = spec.get("start", self.every)
+
+    def due(self, offset: int, engine: "ChaosEngine"):
+        while self._next_at <= offset:
+            if self.stop is not None and self._next_at > self.stop:
+                return
+            site = self._rng.choice(self.sites)
+            kind = self._rng.choice(self.kinds)
+            self._next_at += self.every
+            yield site, kind, None
+
+
+class TargetedController:
+    """Every ``every`` cycles, hits the busiest link by live metrics."""
+
+    def __init__(self, spec: dict) -> None:
+        self.every = spec["every"]
+        self.kind = spec["kind"]
+        self.stop = spec.get("stop")
+        self._next_at = spec.get("start", self.every)
+
+    def due(self, offset: int, engine: "ChaosEngine"):
+        while self._next_at <= offset:
+            if self.stop is not None and self._next_at > self.stop:
+                return
+            self._next_at += self.every
+            link = engine.topology.busiest_link()
+            yield f"link.{link.name}", self.kind, None
+
+
+def _build_controller(spec: dict, seed: int, index: int):
+    kind = spec["type"]
+    if kind == "timed":
+        return TimedController(spec)
+    if kind == "random":
+        return RandomController(spec, seed, index)
+    return TargetedController(spec)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+class ChaosEngine:
+    """Executes a scenario against a live system, deterministically.
+
+    Event times are *offsets from the engine's construction time*, so
+    a scenario is portable across configurations whose boot sequences
+    leave the clock at different values.
+    """
+
+    def __init__(
+        self,
+        scenario: ChaosScenario,
+        topology: "NetworkTopology",
+        injector: "FaultInjector",
+        complex_: "SmpComplex | None" = None,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        self.scenario = scenario
+        self.topology = topology
+        self.injector = injector
+        self.complex_ = complex_
+        self.tracer = tracer
+        self.t0 = topology.sim.clock.now
+        self.controllers = [
+            _build_controller(spec, scenario.seed, index)
+            for index, spec in enumerate(scenario.controllers)
+        ]
+        #: (time, site, kind) of every commanded event, in order.
+        self.applied: list[tuple[int, str, str]] = []
+        self.steps = 0
+        #: Events that could not be applied (e.g. cpu.loss with one CPU
+        #: left) — skipped loudly, never silently.
+        self.skipped: list[tuple[int, str, str, str]] = []
+        if metrics is not None:
+            metrics.counter("chaos.events", "chaos events commanded",
+                            source=lambda: len(self.applied))
+            metrics.counter("chaos.skipped",
+                            "chaos events that could not be applied",
+                            source=lambda: len(self.skipped))
+            metrics.counter("chaos.steps", "engine polls executed",
+                            source=lambda: self.steps)
+            metrics.gauge("chaos.controllers", "controllers in the scenario",
+                          source=lambda: len(self.controllers))
+
+    # -- polling ---------------------------------------------------------
+
+    def step(self, complex_=None) -> int:
+        """Fire every event whose time has come; returns how many.
+
+        ``complex_`` makes the engine usable as an ``on_round`` hook of
+        :meth:`repro.hw.smp.SmpComplex.run` directly.
+        """
+        now = self.topology.sim.clock.now
+        self.steps += 1
+        fired = 0
+        for controller in self.controllers:
+            for site, kind, cpu in controller.due(now - self.t0, self):
+                self._apply(now, site, kind, cpu)
+                fired += 1
+        return fired
+
+    # -- application -----------------------------------------------------
+
+    def _apply(self, now: int, site: str, kind: str,
+               cpu: int | None) -> None:
+        if site == CPU_LOSS_SITE:
+            self._lose_cpu(now, cpu)
+            return
+        link = self.topology.links.get(site[len("link."):])
+        if link is None:
+            raise ValueError(f"scenario names unknown link site {site!r}")
+        self.injector.force(site, kind,
+                            detail=f"scenario {self.scenario.name}")
+        if kind == "partition":
+            link.partition(now)
+        elif kind == "flap":
+            link.flap(now)
+        elif kind == "latency_spike":
+            link.spike(now)
+        else:  # drop
+            link.force_drop()
+        self._book(now, site, kind)
+
+    def _lose_cpu(self, now: int, cpu: int | None) -> None:
+        cx = self.complex_
+        if cx is None:
+            raise ValueError(
+                "scenario commands cpu.loss but no SMP complex is wired"
+            )
+        index = cpu if cpu is not None else cx.last_online()
+        if cx.online_count() <= 1 or not cx.online(index):
+            # Never take the last CPU (that is system loss, not
+            # degradation) and never re-lose a lost one.
+            self.skipped.append((now, CPU_LOSS_SITE, CPU_LOSS_KIND,
+                                 f"cpu {index} not removable"))
+            return
+        self.injector.force(CPU_LOSS_SITE, CPU_LOSS_KIND,
+                            detail=f"cpu {index}")
+        requeued = cx.lose_cpu(index)
+        # Equipment out of service: the complex runs on, degraded.
+        self.injector.note_degraded(CPU_LOSS_SITE, detail=f"cpu {index}")
+        if requeued is not None:
+            self.injector.note_recovered(
+                CPU_LOSS_SITE, "job_requeued",
+                detail=f"cpu {index}: {requeued.label or requeued.segno}",
+            )
+        self._book(now, CPU_LOSS_SITE, CPU_LOSS_KIND)
+
+    def _book(self, now: int, site: str, kind: str) -> None:
+        self.applied.append((now, site, kind))
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.point("chaos_event", origin="chaos",
+                              site=site, kind=kind,
+                              scenario=self.scenario.name)

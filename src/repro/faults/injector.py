@@ -75,6 +75,13 @@ class FaultInjector:
         kind = self.plan.decide(site)
         if kind is None:
             return None
+        return self.force(site, kind, detail)
+
+    def force(self, site: str, kind: str, detail: str = "") -> str:
+        """Book a fault a scenario controller *commanded* (rather than
+        one the plan decided) — the chaos engine's entry point.  Forced
+        faults share the plan-driven books and audit trail, so one log
+        still replays the whole failure story."""
         now = self._now()
         self.injected.append((now, site, kind))
         self.per_site[site] += 1

@@ -11,13 +11,20 @@ site                         failure kinds understood there
 ``memory.transfer``          ``transfer_error`` — a page move fails mid-flight
 ``device.<name>``            ``transfer_error``, ``hang``, ``lost_interrupt``
 ``net.deliver``              ``drop``, ``duplicate``
+``link.<name>``              ``drop``, ``latency_spike``, ``partition``,
+                             ``flap`` — per-transit faults on one routed
+                             link of the network topology
+``cpu.loss``                 ``offline`` — a CPU leaves the SMP complex
+                             (scenario-driven only; see repro.faults.chaos)
 ===========================  ==================================================
 
 Each :class:`FaultSpec` is either *schedule-driven* (``at_ops``: inject
 on exactly those 1-based operation indices of the site — the tool for
 deterministic unit tests) or *probability-driven* (``rate``: each
 operation fails with that probability, drawn from a private RNG stream
-seeded by ``(seed, spec, site)``).  Two runs of the same workload under
+seeded by ``(seed, spec, site)``) — never both, because a spec with
+both would fire on the scheduled ops *and* randomly, which reads as
+one rule but behaves as two.  Two runs of the same workload under
 the same plan therefore inject identical faults at identical
 operations: the containment experiments compare audit logs across runs
 and demand equality.
@@ -50,6 +57,12 @@ class FaultSpec:
             raise ValueError(f"rate {self.rate} is not a probability")
         if self.rate == 0.0 and not self.at_ops:
             raise ValueError("a fault spec needs a rate or a schedule")
+        if self.rate > 0.0 and self.at_ops:
+            raise ValueError(
+                "a fault spec takes a rate or a schedule, not both "
+                f"(site {self.site!r} sets rate={self.rate} and "
+                f"at_ops={list(self.at_ops)})"
+            )
 
     def matches(self, site: str) -> bool:
         if self.site.endswith("*"):

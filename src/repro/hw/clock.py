@@ -94,11 +94,17 @@ class Simulator:
         return self._events_run
 
     def step(self) -> bool:
-        """Execute the next event.  Returns False if the queue is empty."""
+        """Execute the next event.  Returns False if the queue is empty.
+
+        An event whose time has already passed — the SMP complex
+        advances the shared clock directly, without draining the queue
+        — runs immediately at the current clock; the clock never moves
+        backwards.
+        """
         if not self._queue:
             return False
         time, _seq, fn = heapq.heappop(self._queue)
-        self.clock.advance_to(time)
+        self.clock.advance_to(max(time, self.clock.now))
         self._events_run += 1
         fn()
         return True

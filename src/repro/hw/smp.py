@@ -37,6 +37,14 @@ every run **bit-for-bit reproducible**:
   page-in) takes down only its own job; the CPU is idle again next
   round and the complex keeps dispatching.
 
+* **Graceful CPU loss.**  :meth:`SmpComplex.lose_cpu` removes a CPU
+  mid-run (the chaos plane's ``cpu.loss`` site): the job it was
+  executing is requeued at the *front* of the queue and restarts from
+  its entry point on another CPU (:meth:`CPU.stepper` builds fresh
+  frames per call, so a restart is clean), the offline CPU is skipped
+  by dispatch, and the complex runs on degraded.  Losing a CPU costs
+  the interrupted job's elapsed time — denial of use — never its data.
+
 A single-CPU complex is cycle-identical to the pre-SMP synchronous
 path: no other CPU can hold a lock, so no stalls accrue, dispatch costs
 ``CostModel.smp_dispatch`` (zero by default), and the clock advances by
@@ -153,6 +161,7 @@ class SmpComplex:
             ))
         self._queue: deque[CpuJob] = deque()
         self._running: list[_Slot | None] = [None] * self.n_cpus
+        self._offline = [False] * self.n_cpus
         #: Virtual-time bookkeeping for the current round.
         self._round_base = 0
         self._slice_start = [0] * self.n_cpus
@@ -166,6 +175,8 @@ class SmpComplex:
         self.busy_cycles = 0
         self.stall_cycles = 0
         self.elapsed_cycles = 0
+        self.cpus_lost = 0
+        self.jobs_requeued = 0
         if metrics is not None:
             metrics.counter("smp.rounds", "lockstep rounds executed",
                             source=lambda: self.rounds)
@@ -185,8 +196,13 @@ class SmpComplex:
             metrics.counter("smp.elapsed_cycles",
                             "simulated clock advanced by the complex",
                             source=lambda: self.elapsed_cycles)
-            metrics.gauge("smp.cpus", "CPUs in the complex",
-                          source=lambda: self.n_cpus)
+            metrics.gauge("smp.cpus", "CPUs of the complex still online",
+                          source=self.online_count)
+            metrics.counter("smp.cpus_lost", "CPUs removed mid-run",
+                            source=lambda: self.cpus_lost)
+            metrics.counter("smp.jobs_requeued",
+                            "jobs restarted after losing their CPU",
+                            source=lambda: self.jobs_requeued)
             metrics.counter("smp.am_hits",
                             "translations served by per-CPU AMs",
                             source=lambda: sum(
@@ -245,13 +261,63 @@ class SmpComplex:
             slot is not None for slot in self._running
         )
 
+    # -- CPU loss (the chaos plane's cpu.loss site) ----------------------
+
+    def online(self, index: int) -> bool:
+        return 0 <= index < self.n_cpus and not self._offline[index]
+
+    def online_count(self) -> int:
+        return self.n_cpus - sum(self._offline)
+
+    def last_online(self) -> int:
+        """Highest-indexed CPU still online (-1 if none are)."""
+        for i in range(self.n_cpus - 1, -1, -1):
+            if not self._offline[i]:
+                return i
+        return -1
+
+    def lose_cpu(self, index: int) -> CpuJob | None:
+        """Remove CPU ``index`` from the complex mid-run.
+
+        The job it was executing (if any) is requeued at the front of
+        the queue and restarts from its entry point on another CPU —
+        lost time, never lost data.  Returns the requeued job.  The
+        last online CPU cannot be lost: that would be system loss, not
+        degradation.
+        """
+        if not 0 <= index < self.n_cpus:
+            raise ValueError(f"no CPU {index} in a {self.n_cpus}-CPU complex")
+        if self._offline[index]:
+            raise ValueError(f"CPU {index} is already offline")
+        if self.online_count() <= 1:
+            raise ValueError("cannot lose the last online CPU")
+        self._offline[index] = True
+        self.cpus_lost += 1
+        slot = self._running[index]
+        self._running[index] = None
+        requeued: CpuJob | None = None
+        if slot is not None:
+            requeued = slot.job
+            requeued.cpu_id = -1
+            requeued.started = -1
+            self._queue.appendleft(requeued)
+            self.jobs_requeued += 1
+        if self.tracer.enabled:
+            self.tracer.point(
+                "smp_cpu_lost", origin="smp", cpu=index,
+                requeued=requeued.label or requeued.segno
+                if requeued is not None else None,
+            )
+        return requeued
+
     # -- the lockstep engine ---------------------------------------------
 
     def _dispatch(self) -> None:
         """Connect queued jobs to idle CPUs, in CPU index order, under
         the global traffic-control lock."""
         for i, cpu in enumerate(self.cpus):
-            if self._running[i] is not None or not self._queue:
+            if (self._offline[i] or self._running[i] is not None
+                    or not self._queue):
                 continue
             stall0 = cpu.stall_cycles
             wait = self.tc_lock.acquire(self._round_base, cpu)
@@ -355,24 +421,31 @@ class SmpComplex:
         return advance
 
     def run(self, quantum: int | None = None,
-            max_rounds: int = 1_000_000) -> None:
-        """Run lockstep rounds until every submitted job is done."""
+            max_rounds: int = 1_000_000, on_round=None) -> None:
+        """Run lockstep rounds until every submitted job is done.
+
+        ``on_round(self)`` is called after each round — the hook the
+        chaos engine polls from, and where a driver can drain simulator
+        events scheduled during the round (network deliveries).
+        """
         q = self.config.quantum if quantum is None else quantum
         if q <= 0:
             raise ValueError("quantum must be positive")
         rounds = 0
         while self.busy:
             self._round(q)
+            if on_round is not None:
+                on_round(self)
             rounds += 1
             if rounds >= max_rounds:
                 raise RuntimeError(
                     f"SMP complex still busy after {max_rounds} rounds"
                 )
 
-    def run_jobs(self, jobs: list[CpuJob],
-                 quantum: int | None = None) -> list[CpuJob]:
+    def run_jobs(self, jobs: list[CpuJob], quantum: int | None = None,
+                 on_round=None) -> list[CpuJob]:
         """Submit ``jobs`` and run them all to completion."""
         for job in jobs:
             self.submit(job)
-        self.run(quantum=quantum)
+        self.run(quantum=quantum, on_round=on_round)
         return jobs

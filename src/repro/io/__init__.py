@@ -8,6 +8,11 @@ The paper's simplification projects here:
 * replace the circular network input buffer (with its
   old-messages-not-removed-before-a-complete-circuit bug) with a
   VM-backed buffer that appears infinite (experiment E6).
+
+:mod:`repro.io.topology` grows the single attachment into a routed
+multi-node topology — remote hosts reach the attachment over links
+with latency/loss models and per-link fault sites, the substrate the
+chaos plane (:mod:`repro.faults.chaos`) storms against.
 """
 
 from repro.io.buffers import CircularBuffer, InfiniteVMBuffer
@@ -20,6 +25,13 @@ from repro.io.devices import (
     Terminal,
 )
 from repro.io.network import NetworkAttachment, TrafficPattern
+from repro.io.topology import (
+    ATTACHMENT_HOST,
+    LINK_FAULT_KINDS,
+    Link,
+    NetworkTopology,
+    validate_spec,
+)
 
 __all__ = [
     "CircularBuffer",
@@ -32,4 +44,9 @@ __all__ = [
     "LinePrinter",
     "NetworkAttachment",
     "TrafficPattern",
+    "ATTACHMENT_HOST",
+    "LINK_FAULT_KINDS",
+    "Link",
+    "NetworkTopology",
+    "validate_spec",
 ]

@@ -1,0 +1,401 @@
+"""A simulated multi-node network topology in front of the attachment.
+
+The paper's argument keeps exactly one external-I/O mechanism — the
+network attachment (:mod:`repro.io.network`).  This module models the
+*network behind it*: remote hosts connected to the kernel endpoint by
+routed links, each with its own latency and failure behaviour.  A
+message sent from a host traverses every link on its route; any link
+may drop it, delay it, or be partitioned outright.  The existing
+:class:`~repro.io.network.NetworkAttachment` becomes one endpoint of
+the topology (the ``multics`` host), unchanged — traffic that enters
+through :meth:`NetworkTopology.send` merely arrives at
+:meth:`NetworkAttachment.deliver` later, or never.
+
+Failure model.  Every link is a fault site named ``link.<name>``
+(consulted per transit through the shared :class:`FaultInjector`, so
+plan-driven faults compose with everything else) and understands four
+kinds:
+
+* ``drop``           — this transit is lost on the wire;
+* ``latency_spike``  — this transit pays ``spike_cycles`` extra;
+* ``partition``      — the link goes down for ``partition_cycles``
+  (the triggering transit and everything sent while down is lost);
+* ``flap``           — a short outage of ``flap_cycles`` (the link
+  comes back by itself — the model of a bouncing interface).
+
+The same four effects can be commanded directly (``partition()``,
+``flap()``, ``spike()``, ``force_drop()``) — that is the scenario
+engine's hook (:mod:`repro.faults.chaos`).  Either way the outcome is
+pure denial of use: a message arrives intact or not at all; nothing in
+this module can alter a message body or deliver it to the wrong
+endpoint, which is exactly the degradation invariant the R2 bench
+asserts end to end.
+
+Transit decisions are evaluated at send time against the simulated
+clock, so runs are a pure function of (config, workload, fault seed):
+same seed, same storms, byte-identical exports.
+
+Metric names are fixed aggregates over all links (``net.link.*``);
+per-link numbers stay on the :class:`Link` objects and go into bench
+extras, never into config-dependent metric names.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+    from repro.hw.clock import Simulator
+    from repro.io.network import NetworkAttachment
+
+#: The topology name of the kernel's network attachment endpoint.
+ATTACHMENT_HOST = "multics"
+
+#: Failure kinds a ``link.<name>`` fault site understands.
+LINK_FAULT_KINDS = ("drop", "latency_spike", "partition", "flap")
+
+#: The default topology: one remote host, one direct link.  This is
+#: the pre-topology behaviour (a single attachment point) expressed as
+#: the degenerate network, so every system always has a topology and
+#: the ``net.link.*`` names always register.
+DEFAULT_SPEC: dict = {
+    "hosts": ["remote"],
+    "links": [{"name": "uplink", "a": "remote", "b": ATTACHMENT_HOST}],
+}
+
+
+class Link:
+    """One routed link: latency, an outage window, and its own books."""
+
+    def __init__(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        latency: int = 20,
+        spike_cycles: int = 200,
+        spike_window: int = 1000,
+        partition_cycles: int = 2000,
+        flap_cycles: int = 250,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"link {name!r}: latency cannot be negative")
+        if min(spike_cycles, spike_window, partition_cycles, flap_cycles) <= 0:
+            raise ValueError(f"link {name!r}: fault windows must be positive")
+        self.name = name
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.spike_cycles = spike_cycles
+        self.spike_window = spike_window
+        self.partition_cycles = partition_cycles
+        self.flap_cycles = flap_cycles
+        #: Simulated time until which the link is down / degraded.
+        self.down_until = 0
+        self.spiked_until = 0
+        #: Transits a scenario ``drop`` event has condemned in advance.
+        self.pending_drops = 0
+        # -- books (bench extras; aggregated into net.link.*) ----------
+        self.attempts = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.partition_drops = 0
+        self.latency_spikes = 0
+        self.partitions = 0
+        self.flaps = 0
+
+    # -- scenario-driven effects ----------------------------------------
+
+    def partition(self, now: int, cycles: int | None = None) -> None:
+        """Take the link down for ``cycles`` (default its own window)."""
+        self.partitions += 1
+        self.down_until = max(
+            self.down_until, now + (cycles or self.partition_cycles)
+        )
+
+    def flap(self, now: int, cycles: int | None = None) -> None:
+        """A short self-healing outage."""
+        self.flaps += 1
+        self.down_until = max(
+            self.down_until, now + (cycles or self.flap_cycles)
+        )
+
+    def spike(self, now: int, cycles: int | None = None) -> None:
+        """Degrade latency for a window (each transit pays extra)."""
+        self.spiked_until = max(
+            self.spiked_until, now + (cycles or self.spike_window)
+        )
+
+    def force_drop(self, count: int = 1) -> None:
+        """Condemn the next ``count`` transits."""
+        self.pending_drops += count
+
+    def down(self, now: int) -> bool:
+        return now < self.down_until
+
+    # -- the transit ----------------------------------------------------
+
+    def transit(self, now: int,
+                injector: "FaultInjector | None" = None,
+                detail: str = "") -> tuple[bool, int]:
+        """One message crosses the link; returns ``(survived, latency)``.
+
+        The plan-driven fault site is consulted first, then scenario
+        state (outage windows, condemned transits).  A lost message is
+        lost whole — there is no path that mutates it.
+        """
+        self.attempts += 1
+        kind = (
+            injector.check(f"link.{self.name}", detail=detail)
+            if injector is not None
+            else None
+        )
+        if kind == "partition":
+            self.partition(now)
+        elif kind == "flap":
+            self.flap(now)
+        if self.pending_drops > 0:
+            self.pending_drops -= 1
+            self.dropped += 1
+            return False, 0
+        if kind == "drop":
+            self.dropped += 1
+            return False, 0
+        if self.down(now):
+            self.partition_drops += 1
+            return False, 0
+        latency = self.latency
+        if kind == "latency_spike" or now < self.spiked_until:
+            self.latency_spikes += 1
+            latency += self.spike_cycles
+        self.delivered += 1
+        return True, latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name}: {self.a}<->{self.b}, {self.latency}cy)"
+
+
+def validate_spec(spec: object) -> None:
+    """Raise ``ValueError`` on a malformed topology spec.
+
+    Called from :meth:`SystemConfig.validate` so a bad declarative
+    topology fails at configuration time, not mid-boot.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("topology spec must be a dict")
+    unknown = set(spec) - {"hosts", "links"}
+    if unknown:
+        raise ValueError(f"topology spec: unknown keys {sorted(unknown)}")
+    hosts = spec.get("hosts", [])
+    links = spec.get("links", [])
+    if not isinstance(hosts, list) or not all(
+        isinstance(h, str) and h for h in hosts
+    ):
+        raise ValueError("topology hosts must be a list of names")
+    if ATTACHMENT_HOST in hosts:
+        raise ValueError(
+            f"host name {ATTACHMENT_HOST!r} is reserved for the attachment"
+        )
+    if not isinstance(links, list) or not links:
+        raise ValueError("topology needs at least one link")
+    known = set(hosts) | {ATTACHMENT_HOST}
+    names: set[str] = set()
+    for entry in links:
+        if not isinstance(entry, dict):
+            raise ValueError("each topology link must be a dict")
+        for key in ("name", "a", "b"):
+            if not isinstance(entry.get(key), str) or not entry[key]:
+                raise ValueError(f"topology link needs a {key!r} string")
+        if entry["name"] in names:
+            raise ValueError(f"duplicate link name {entry['name']!r}")
+        names.add(entry["name"])
+        for end in (entry["a"], entry["b"]):
+            if end not in known:
+                raise ValueError(
+                    f"link {entry['name']!r} endpoint {end!r} is not a host"
+                )
+    # Connectivity is checked at build time (routes must exist).
+
+
+class NetworkTopology:
+    """Hosts and routed links in front of one kernel attachment."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        attachment: "NetworkAttachment",
+        injector: "FaultInjector | None" = None,
+        metrics=None,
+    ) -> None:
+        self.sim = sim
+        self.attachment = attachment
+        self.injector = injector
+        self.hosts: list[str] = [ATTACHMENT_HOST]
+        self.links: dict[str, Link] = {}
+        #: host -> adjacent links, insertion-ordered (deterministic BFS).
+        self._adjacent: dict[str, list[Link]] = {ATTACHMENT_HOST: []}
+        self._routes: dict[str, list[Link] | None] = {}
+        #: Messages topology.send lost before reaching the attachment.
+        self.lost = 0
+        self.sent = 0
+        if metrics is not None:
+            metrics.counter("net.link.attempts",
+                            "message transits attempted across links",
+                            source=lambda: self._sum("attempts"))
+            metrics.counter("net.link.delivered",
+                            "transits that crossed their link",
+                            source=lambda: self._sum("delivered"))
+            metrics.counter("net.link.dropped",
+                            "transits lost to drop faults",
+                            source=lambda: self._sum("dropped"))
+            metrics.counter("net.link.partition_drops",
+                            "transits lost to a downed link",
+                            source=lambda: self._sum("partition_drops"))
+            metrics.counter("net.link.latency_spikes",
+                            "transits that paid spike latency",
+                            source=lambda: self._sum("latency_spikes"))
+            metrics.counter("net.link.partitions",
+                            "partition events across links",
+                            source=lambda: self._sum("partitions"))
+            metrics.counter("net.link.flaps", "flap events across links",
+                            source=lambda: self._sum("flaps"))
+            metrics.gauge("net.link.links", "links in the topology",
+                          source=lambda: len(self.links))
+            metrics.gauge("net.link.down", "links currently partitioned",
+                          source=lambda: sum(
+                              1 for link in self.links.values()
+                              if link.down(self.sim.clock.now)
+                          ))
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(link, attr) for link in self.links.values())
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        spec: dict | None,
+        sim: "Simulator",
+        attachment: "NetworkAttachment",
+        injector: "FaultInjector | None" = None,
+        metrics=None,
+    ) -> "NetworkTopology":
+        """Build from a declarative spec (``DEFAULT_SPEC`` when None)."""
+        spec = DEFAULT_SPEC if spec is None else spec
+        validate_spec(spec)
+        topology = cls(sim, attachment, injector=injector, metrics=metrics)
+        for host in spec.get("hosts", []):
+            topology.add_host(host)
+        for entry in spec["links"]:
+            topology.add_link(**entry)
+        for host in spec.get("hosts", []):
+            if topology.route(host) is None:
+                raise ValueError(
+                    f"topology host {host!r} cannot reach the attachment"
+                )
+        return topology
+
+    def add_host(self, name: str) -> None:
+        if name in self._adjacent:
+            raise ValueError(f"duplicate host {name!r}")
+        self.hosts.append(name)
+        self._adjacent[name] = []
+        self._routes.clear()
+
+    def add_link(self, name: str, a: str, b: str, **kwargs) -> Link:
+        if name in self.links:
+            raise ValueError(f"duplicate link {name!r}")
+        for end in (a, b):
+            if end not in self._adjacent:
+                raise ValueError(f"link {name!r} endpoint {end!r} unknown")
+        link = Link(name, a, b, **kwargs)
+        self.links[name] = link
+        self._adjacent[a].append(link)
+        self._adjacent[b].append(link)
+        self._routes.clear()
+        return link
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, host: str) -> list[Link] | None:
+        """The links a message from ``host`` traverses to the
+        attachment — BFS shortest path, deterministic because adjacency
+        lists keep insertion order.  None when partitioned by
+        construction (no path at all, ever)."""
+        if host not in self._adjacent:
+            raise ValueError(f"unknown host {host!r}")
+        cached = self._routes.get(host, Ellipsis)
+        if cached is not Ellipsis:
+            return cached
+        paths: dict[str, list[Link]] = {host: []}
+        frontier = deque([host])
+        while frontier:
+            node = frontier.popleft()
+            if node == ATTACHMENT_HOST:
+                break
+            for link in self._adjacent[node]:
+                other = link.b if link.a == node else link.a
+                if other not in paths:
+                    paths[other] = paths[node] + [link]
+                    frontier.append(other)
+        result = paths.get(ATTACHMENT_HOST)
+        self._routes[host] = result
+        return result
+
+    def busiest_link(self) -> Link:
+        """The link that has carried the most transits (ties broken by
+        name) — the live metric the targeted chaos controller reads."""
+        if not self.links:
+            raise ValueError("topology has no links")
+        return max(
+            sorted(self.links.values(), key=lambda link: link.name),
+            key=lambda link: link.attempts,
+        )
+
+    # -- traffic ---------------------------------------------------------
+
+    def send(self, host: str, body: str) -> bool:
+        """A message leaves ``host`` for the kernel attachment.
+
+        Returns True when it will arrive (the delivery is scheduled at
+        the route's accumulated latency); False when some link lost it.
+        Loss is total — a surviving message reaches
+        :meth:`NetworkAttachment.deliver` with its body intact.
+        """
+        route = self.route(host)
+        if route is None:
+            raise ValueError(f"host {host!r} has no route to the attachment")
+        self.sent += 1
+        now = self.sim.clock.now
+        total_latency = 0
+        for link in route:
+            survived, latency = link.transit(
+                now, self.injector, detail=f"{host}: {body[:24]}"
+            )
+            if not survived:
+                self.lost += 1
+                return False
+            total_latency += latency
+        self.sim.schedule(
+            total_latency,
+            lambda: self.attachment.deliver(host, body),
+        )
+        return True
+
+    def link_report(self) -> dict[str, dict]:
+        """Per-link books for bench extras (never metric names)."""
+        return {
+            name: {
+                "attempts": link.attempts,
+                "delivered": link.delivered,
+                "dropped": link.dropped,
+                "partition_drops": link.partition_drops,
+                "latency_spikes": link.latency_spikes,
+                "partitions": link.partitions,
+                "flaps": link.flaps,
+            }
+            for name, link in sorted(self.links.items())
+        }

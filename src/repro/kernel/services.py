@@ -242,6 +242,12 @@ class KernelServices:
             sim, ic, line=6, buffer=buffer, injector=self.injector,
             metrics=self.metrics,
         )
+        from repro.io.topology import NetworkTopology
+
+        self.topology = NetworkTopology.build(
+            self.config.topology, sim, self.network,
+            injector=self.injector, metrics=self.metrics,
+        )
 
     # -- users ---------------------------------------------------------------
 

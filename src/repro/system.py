@@ -242,11 +242,49 @@ class MulticsSystem:
             n_cpus=n_cpus,
         )
 
+    def chaos_engine(self, scenario, complex_=None) -> "ChaosEngine":
+        """Wire a chaos scenario to this system's topology and injector.
+
+        ``scenario`` is a :class:`repro.faults.ChaosScenario` or the
+        dict form of one.  When the system booted without a fault plan
+        there is no hardware injector; a bookkeeping-only injector over
+        an empty plan is built so commanded faults still land in the
+        audit trail and ``faults.*`` books.
+        """
+        from repro.faults.chaos import ChaosEngine, ChaosScenario
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        if isinstance(scenario, dict):
+            scenario = ChaosScenario.from_dict(scenario)
+        services = self.services
+        injector = services.injector
+        if injector is None:
+            injector = FaultInjector(
+                FaultPlan([], seed=scenario.seed),
+                audit=services.audit,
+                clock=services.sim.clock,
+                metrics=services.metrics,
+            )
+        return ChaosEngine(
+            scenario,
+            services.topology,
+            injector,
+            complex_=complex_,
+            metrics=services.metrics,
+            tracer=services.tracer,
+        )
+
     # -- convenience handles ------------------------------------------------------------
 
     @property
     def scheduler(self):
         return self.services.scheduler
+
+    @property
+    def topology(self):
+        """The simulated network topology around the attachment."""
+        return self.services.topology
 
     @property
     def clock(self):

@@ -77,3 +77,80 @@ def test_cpu_count_changes_timing_not_results():
     one = boot_and_run(1, False, True)
     two = boot_and_run(2, False, True)
     assert one[2] != two[2]
+
+
+# ---------------------------------------------------------------------------
+# chaos storms are part of the pure function too
+# ---------------------------------------------------------------------------
+
+STORM_TOPOLOGY = {
+    "hosts": ["east", "west"],
+    "links": [
+        {"name": "east_up", "a": "east", "b": "multics"},
+        {"name": "west_up", "a": "west", "b": "multics"},
+    ],
+}
+
+STORM = {
+    "name": "det-storm",
+    "seed": 11,
+    "controllers": [
+        {"type": "timed", "events": [
+            {"at": 500, "site": "link.east_up", "kind": "partition"},
+            {"at": 2000, "site": "cpu.loss", "kind": "offline", "cpu": 1},
+        ]},
+        {"type": "random", "every": 400,
+         "sites": ["link.east_up", "link.west_up"],
+         "kinds": ["drop", "flap", "latency_spike"]},
+        {"type": "targeted", "every": 900, "kind": "flap"},
+    ],
+}
+
+
+def storm_run(seed: int):
+    """A chaotic 2-CPU run: SMP jobs under a scenario storm with
+    cross-host traffic sent between rounds."""
+    from repro.faults.plan import FaultPlan, FaultSpec
+
+    scenario = dict(STORM, seed=seed)
+    system = smp_system(
+        n_cpus=2,
+        topology=STORM_TOPOLOGY,
+        fault_plan=FaultPlan(
+            [FaultSpec("link.*", "drop", rate=0.05)], seed=seed,
+        ),
+    )
+    jobs, _ = make_jobs(system)
+    cx = system.cpu_complex()
+    engine = system.chaos_engine(scenario, complex_=cx)
+    counter = [0]
+
+    def on_round(_cx):
+        engine.step()
+        counter[0] += 1
+        host = ("east", "west")[counter[0] % 2]
+        system.topology.send(host, f"traffic-{counter[0]}")
+        system.run(until=system.clock.now)  # drain scheduled deliveries
+
+    cx.run_jobs(jobs, on_round=on_round)
+    system.run()
+    assert [j.result for j in jobs] == [96] * 8
+    assert engine.applied  # the storm actually fired
+    return (
+        system.metrics.to_json(),
+        system.audit_trail.to_json(),
+        system.clock.now,
+    )
+
+
+def test_same_seed_storm_is_byte_identical():
+    """Same seed + same scenario: the whole storm — injections, link
+    outages, CPU loss, requeues — replays exactly, down to the audit
+    and metrics export bytes."""
+    assert storm_run(11) == storm_run(11)
+
+
+def test_storm_seed_changes_the_storm():
+    a = storm_run(11)
+    b = storm_run(12)
+    assert a[1] != b[1]  # different injections → different audit trail

@@ -61,10 +61,42 @@ class TestFaultPlan:
         decisions = [p.decide("device.tty1") for _ in range(5)]
         assert decisions == [None, "hang", None, "hang", None]
 
+    def test_spec_rejects_rate_and_schedule_together(self):
+        with pytest.raises(ValueError, match="not both"):
+            FaultSpec(site="device.tty1", kind="hang",
+                      rate=0.5, at_ops=(1, 3))
+
     def test_wildcard_site_matches_prefix(self):
         p = plan(FaultSpec("memory.*", "parity", at_ops=(1,)))
         assert p.decide("memory.core.read") == "parity"
         assert p.decide("device.tty1") is None
+
+    def test_wildcard_keeps_per_site_op_counters(self):
+        # One rule, two sites: each site's schedule counts its own ops.
+        p = plan(FaultSpec("memory.*", "parity", at_ops=(2,)))
+        assert p.decide("memory.core.read") is None
+        assert p.decide("memory.bulk.read") is None
+        assert p.decide("memory.core.read") == "parity"
+        assert p.decide("memory.bulk.read") == "parity"
+
+    def test_first_matching_rule_wins_over_later_wildcard(self):
+        p = plan(
+            FaultSpec("memory.core.read", "parity", at_ops=(1,)),
+            FaultSpec("memory.*", "transfer_error", at_ops=(1, 2)),
+        )
+        # Op 1: the exact rule is listed first and fires first.
+        assert p.decide("memory.core.read") == "parity"
+        # Op 2: the exact rule is quiet, the wildcard fires.
+        assert p.decide("memory.core.read") == "transfer_error"
+
+    def test_earlier_wildcard_shadows_exact_rule(self):
+        p = plan(
+            FaultSpec("memory.*", "transfer_error", at_ops=(1,)),
+            FaultSpec("memory.core.read", "parity", at_ops=(1,)),
+        )
+        # Rule order is precedence — a broad wildcard listed first
+        # shadows the exact rule on the shared op.
+        assert p.decide("memory.core.read") == "transfer_error"
 
     def test_rate_stream_deterministic_per_seed(self):
         a = plan(FaultSpec("s", "k", rate=0.3), seed=7)

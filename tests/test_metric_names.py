@@ -44,7 +44,21 @@ def registered_names() -> set[str]:
         system.register_user("Alice", "Crypto", "pw")
         session = system.login("Alice", "Crypto", "pw")
         session.make_cpu()  # cpu.* names register per-CPU
-        system.cpu_complex(n_cpus=2)  # smp.* names register per-complex
+        cx = system.cpu_complex(n_cpus=2)  # smp.* names register per-complex
+        system.chaos_engine(  # chaos.* names register per-engine
+            {
+                "name": "lint",
+                "controllers": [
+                    {
+                        "type": "timed",
+                        "events": [
+                            {"at": 0, "site": "link.uplink", "kind": "drop"}
+                        ],
+                    }
+                ],
+            },
+            complex_=cx,
+        )
         names.update(system.metrics.names())
     return names
 
