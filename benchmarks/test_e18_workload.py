@@ -1,0 +1,157 @@
+"""E18 — multi-user workload at scale: the kernel the paper describes
+served an interactive time-sharing population, so the simulator must
+sustain one.  A seeded population of mixed user profiles (shell,
+compile, io, paging) logs in through the non-privileged E14 listener
+path under a Poisson arrival process and runs its interactive bursts
+through the SMP complex (:mod:`repro.workloads`).
+
+Measured: wall-clock throughput (simulated cycles/sec and admitted
+users/sec) at 1k and 10k users with the refactored fast-path core
+(``SystemConfig.fast_path``), asserting >= 2x wall speedup over the
+pre-refactor core at 1k — guarded by an architectural-equivalence leg:
+the fast and classic runs must produce byte-identical grant/deny audit
+traces, job results, metrics snapshots, and final simulated clocks.
+The speedup claim is only citable because the two runs are the same
+computation.
+"""
+
+import json
+import time
+
+from repro import MulticsSystem, kernel_config
+from repro.workloads import WorkloadDriver, generate_population
+
+SPEEDUP_FLOOR = 2.0
+USERS_1K = 1_000
+USERS_10K = 10_000
+SEED = 1975
+N_CPUS = 2
+
+#: Small pages (the profile strides assume them) and a hierarchy deep
+#: enough that 10k users' working sets fit on disk and thrash core.
+FRAMES = dict(page_size=16, core_frames=16384, bulk_frames=32768,
+              disk_frames=65536)
+
+
+def workload_run(n_users: int, fast: bool, seed: int = SEED) -> dict:
+    """Boot, drive a seeded population, return numbers + identity
+    artifacts (trace/clock/snapshot serialized before the system is
+    torn down, so a later boot's cam broadcasts cannot touch them)."""
+    system = MulticsSystem(
+        kernel_config(fast_path=fast, **FRAMES)
+    ).boot()
+    driver = WorkloadDriver(system, n_cpus=N_CPUS)
+    population = generate_population(n_users, seed=seed)
+    report = driver.run(population)
+    return {
+        "report": report,
+        "derived": report.to_dict(),
+        "trace": [
+            (r.action, r.object, r.outcome) for r in system.audit.records
+        ],
+        "final_clock": system.clock.now,
+        "snapshot_json": system.metrics.to_json(),
+    }
+
+
+def equivalent(fast_run: dict, classic_run: dict) -> bool:
+    """The architectural-equivalence guard: same traces, same clock,
+    same snapshot."""
+    return (
+        fast_run["trace"] == classic_run["trace"]
+        and fast_run["final_clock"] == classic_run["final_clock"]
+        and fast_run["snapshot_json"] == classic_run["snapshot_json"]
+    )
+
+
+def test_e18_workload(report, export):
+    t0 = time.perf_counter()
+    fast_1k = workload_run(USERS_1K, fast=True)
+    classic_1k = workload_run(USERS_1K, fast=False)
+
+    # (a) equivalence: fast on/off is the same computation, byte for
+    # byte — grant/deny trace, final clock, metrics snapshot.
+    assert fast_1k["trace"] == classic_1k["trace"]
+    assert fast_1k["final_clock"] == classic_1k["final_clock"]
+    assert fast_1k["snapshot_json"] == classic_1k["snapshot_json"]
+
+    # (b) nothing was refused or contained at 1k on either core.
+    for leg in (fast_1k, classic_1k):
+        d = leg["derived"]
+        assert d["admitted"] == USERS_1K
+        assert d["login_failures"] == 0
+        assert d["jobs_failed"] == 0
+        assert d["jobs_completed"] == USERS_1K
+
+    # (c) the fast core clears the wall-clock floor on the identical
+    # computation.
+    speedup = (classic_1k["report"].wall_seconds
+               / fast_1k["report"].wall_seconds)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast path {speedup:.2f}x < {SPEEDUP_FLOOR}x floor"
+    )
+
+    # (d) scale: 10k users end-to-end, every one admitted, every burst
+    # completed.
+    fast_10k = workload_run(USERS_10K, fast=True)
+    d10 = fast_10k["derived"]
+    assert d10["admitted"] == USERS_10K
+    assert d10["login_failures"] == 0
+    assert d10["jobs_failed"] == 0
+    assert d10["jobs_completed"] == USERS_10K
+    wall = time.perf_counter() - t0
+
+    snapshot = json.loads(fast_10k["snapshot_json"])
+    d1 = fast_1k["derived"]
+    export("E18", snapshot, extra={
+        "users_1k": USERS_1K,
+        "users_10k": USERS_10K,
+        "wall_speedup_1k": round(speedup, 3),
+        "equivalent": True,
+        "users_per_sec_1k": d1["users_per_sec"],
+        "cycles_per_sec_1k": d1["cycles_per_sec"],
+        "users_per_sec_10k": d10["users_per_sec"],
+        "cycles_per_sec_10k": d10["cycles_per_sec"],
+        "p50_latency_cycles_10k": d10["p50_latency_cycles"],
+        "p95_latency_cycles_10k": d10["p95_latency_cycles"],
+        "wall_seconds": round(wall, 4),
+    })
+    report("E18", [
+        "E18: multi-user workload engine (seeded profiles, Poisson",
+        "     arrivals, E14 bulk login, SMP batches)",
+        f"  fast-path speedup at {USERS_1K} users: {speedup:.2f}x wall "
+        f"(floor {SPEEDUP_FLOOR}x), byte-identical traces/clock/snapshot",
+        f"  {USERS_10K} users end-to-end: "
+        f"{d10['users_per_sec']:.0f} users/sec, "
+        f"{d10['cycles_per_sec']:.0f} simulated cycles/sec",
+        f"  latency p50/p95 at 10k: {d10['p50_latency_cycles']} / "
+        f"{d10['p95_latency_cycles']} cycles",
+    ])
+
+
+def bench_numbers() -> tuple[dict, dict]:
+    """(derived numbers, metrics snapshot) for scripts/run_benches.py."""
+    t0 = time.perf_counter()
+    fast_1k = workload_run(USERS_1K, fast=True)
+    classic_1k = workload_run(USERS_1K, fast=False)
+    fast_10k = workload_run(USERS_10K, fast=True)
+    d1, d10 = fast_1k["derived"], fast_10k["derived"]
+    derived = {
+        "wall_seconds": round(time.perf_counter() - t0, 4),
+        "users_1k": USERS_1K,
+        "users_10k": USERS_10K,
+        "equivalent": equivalent(fast_1k, classic_1k),
+        "wall_speedup_1k": round(
+            classic_1k["report"].wall_seconds
+            / fast_1k["report"].wall_seconds, 3,
+        ),
+        "users_per_sec_1k": d1["users_per_sec"],
+        "cycles_per_sec_1k": d1["cycles_per_sec"],
+        "users_per_sec_10k": d10["users_per_sec"],
+        "cycles_per_sec_10k": d10["cycles_per_sec"],
+        "p50_latency_cycles_10k": d10["p50_latency_cycles"],
+        "p95_latency_cycles_10k": d10["p95_latency_cycles"],
+        "admitted_10k": d10["admitted"],
+        "jobs_failed_10k": d10["jobs_failed"],
+    }
+    return derived, json.loads(fast_10k["snapshot_json"])

@@ -1,16 +1,21 @@
 #!/usr/bin/env python
-"""Run the dynamic benches headlessly and export ``BENCH_pr6.json``.
+"""Run the dynamic benches headlessly and export ``BENCH_<pr>.json``.
 
 Collects the numbers a CI job or a reviewer wants without the pytest
 benchmark machinery: wall-clock seconds, simulated cycles,
 associative-memory hit rates, metering/audit attribution, SMP
-throughput, and chaos-storm containment for the hot-path workloads
-(E4 ring crossings, E5 page-fault storm, E15 associative memory, E16
-metering & audit, E17 SMP lockstep, R2 chaos storm).  The document is
-a real metrics snapshot (schema ``repro.obs/v1``, validated before
-writing) with a ``bench`` section of derived numbers, written to
-``benchmarks/results/BENCH_pr6.json`` so
+throughput, chaos-storm containment, and workload-engine throughput
+for the hot-path workloads (E4 ring crossings, E5 page-fault storm,
+E15 associative memory, E16 metering & audit, E17 SMP lockstep, E18
+workload engine, R2 chaos storm).  The document is the *merged*
+export — a real metrics snapshot (schema ``repro.obs/v1``) plus a
+``bench`` section of derived numbers — validated as written, and
+written to ``benchmarks/results/BENCH_<pr>.json`` so
 ``scripts/check_bench_schema.py`` guards it like every other export.
+
+The export name defaults to ``BENCH_{DEFAULT_PR}.json``; override the
+PR tag with ``--pr prN`` or the ``BENCH_PR`` environment variable, or
+give an explicit output path.
 
 ``--only`` selects a subset by experiment id (comma-separated) — the
 same workloads pytest selects with the ``bench`` marker
@@ -20,12 +25,14 @@ names the known ids, never a silent no-op run.
 
 Usage::
 
-    python scripts/run_benches.py [output.json] [--only E16[,E5,...]]
+    python scripts/run_benches.py [output.json] [--pr pr7]
+                                  [--only E16[,E5,...]]
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 import time
@@ -45,11 +52,16 @@ from test_e15_assoc_memory import (  # noqa: E402
 )
 from test_e16_metering import combined_workload  # noqa: E402
 from test_e17_smp import bench_numbers as smp_bench_numbers  # noqa: E402
+from test_e18_workload import bench_numbers as workload_bench_numbers  # noqa: E402
 from test_r2_chaos import bench_numbers as chaos_bench_numbers  # noqa: E402
 
 #: Experiment ids this runner knows, in execution order.  These are the
 #: same workloads pytest runs under the ``bench`` marker.
-BENCH_IDS = ("E4", "E5", "E15", "E16", "E17", "R2")
+BENCH_IDS = ("E4", "E5", "E15", "E16", "E17", "E18", "R2")
+
+#: The PR tag this checkout exports by default — the one place to bump
+#: per PR (``--pr`` / ``BENCH_PR`` override it at run time).
+DEFAULT_PR = "pr7"
 
 
 def bench_e4() -> dict:
@@ -133,6 +145,15 @@ def _boot_snapshot() -> dict:
 
 def main(argv: list[str]) -> int:
     args = list(argv[1:])
+    pr = os.environ.get("BENCH_PR", DEFAULT_PR)
+    if "--pr" in args:
+        at = args.index("--pr")
+        if at + 1 >= len(args) or not args[at + 1].strip():
+            print("run_benches: --pr needs a tag (e.g. pr7)",
+                  file=sys.stderr)
+            return 2
+        pr = args[at + 1].strip()
+        del args[at:at + 2]
     only: set[str] | None = None
     if "--only" in args:
         at = args.index("--only")
@@ -153,14 +174,14 @@ def main(argv: list[str]) -> int:
                   f"(known: {', '.join(BENCH_IDS)})", file=sys.stderr)
             return 2
 
-    default = _ROOT / "benchmarks" / "results" / "BENCH_pr6.json"
+    default = _ROOT / "benchmarks" / "results" / f"BENCH_{pr}.json"
     out_path = pathlib.Path(args[0]) if args else default
     selected = [b for b in BENCH_IDS if only is None or b in only]
 
     t0 = time.perf_counter()
     bench: dict = {}
     snapshot: dict | None = None
-    e15 = e16 = e17 = r2 = None
+    e15 = e16 = e17 = e18 = r2 = None
     if "E4" in selected:
         bench["e4_ring_cost"] = bench_e4()
     if "E5" in selected:
@@ -174,6 +195,9 @@ def main(argv: list[str]) -> int:
     if "E17" in selected:
         e17, snapshot = smp_bench_numbers()
         bench["e17_smp"] = e17
+    if "E18" in selected:
+        e18, snapshot = workload_bench_numbers()
+        bench["e18_workload"] = e18
     if "R2" in selected:
         r2, snapshot = chaos_bench_numbers()
         bench["r2_chaos"] = r2
@@ -183,12 +207,14 @@ def main(argv: list[str]) -> int:
 
     doc = dict(snapshot)
     doc["bench"] = bench
-    errors = validate_snapshot(snapshot)
+    # Validate the document actually written (snapshot + bench
+    # section), not just the snapshot half of it.
+    errors = validate_snapshot(doc)
     if errors:
         for error in errors:
-            print(f"run_benches: invalid snapshot: {error}", file=sys.stderr)
+            print(f"run_benches: invalid export: {error}", file=sys.stderr)
         return 1
-    out_path.parent.mkdir(exist_ok=True)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"run_benches: wrote {out_path} ({', '.join(selected)})")
     if e15 is not None:
@@ -205,6 +231,12 @@ def main(argv: list[str]) -> int:
         print(f"  SMP speedup x{e17['speedup_2cpu']} at 2 CPUs  "
               f"1-CPU identity {e17['one_cpu_identity']}  "
               f"replay identical {e17['deterministic_replay']}")
+    if e18 is not None:
+        print(f"  workload: {e18['users_10k']} users  "
+              f"fast-path wall x{e18['wall_speedup_1k']}  "
+              f"{e18['cycles_per_sec_10k']:.0f} cycles/s  "
+              f"{e18['users_per_sec_10k']:.1f} users/s  "
+              f"equivalent {e18['equivalent']}")
     if r2 is not None:
         print(f"  chaos: {r2['chaos_events']} events / "
               f"{r2['faults_injected']} faults  "

@@ -99,6 +99,13 @@ class Directory:
         self.name = name or f"dir#{uid}"
         #: Storage quota, in pages, for branches created here.
         self.quota_pages = 1 << 20
+        #: Memo of the segment pages charged to this directory, or None
+        #: when a structural change made it stale.  The quota gate
+        #: (``fs_gates._used_pages``) maintains it so that creating the
+        #: N-th segment does not rescan the previous N-1 branches; any
+        #: mutation outside that gate (salvager, boot image) just
+        #: invalidates and the next check rescans.
+        self.used_pages_cache: int | None = None
         self._by_name: dict[str, Branch] = {}
         self._branches: list[Branch] = []
 
@@ -119,12 +126,14 @@ class Directory:
         for name in branch.all_names():
             self._by_name[name] = branch
         self._branches.append(branch)
+        self.used_pages_cache = None
 
     def remove(self, name: str) -> Branch:
         branch = self.get(name)
         for alias in branch.all_names():
             del self._by_name[alias]
         self._branches.remove(branch)
+        self.used_pages_cache = None
         return branch
 
     def add_name(self, existing: str, new_name: str) -> None:

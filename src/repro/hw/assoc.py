@@ -59,6 +59,26 @@ _FETCH = object()
 #: descriptor segment and drops out of the broadcast automatically).
 _LIVE: "weakref.WeakSet[AssociativeMemory]" = weakref.WeakSet()
 
+#: uid -> the AMs currently caching at least one entry for that object.
+#: ``cam_uid`` visits only these instead of every live AM: with a 10k-user
+#: population there are 10k+ live AMs but each segment is cached by a
+#: handful, and page control fires ``cam_uid`` on *every* page movement.
+#: AMs without the uid contributed nothing to the broadcast anyway
+#: (``invalidate_uid`` returns 0 before touching any counter), so the
+#: restricted walk is observationally identical.
+_BY_UID: dict[int, "weakref.WeakSet[AssociativeMemory]"] = {}
+
+
+def fetch_key(segno: int, ring: int) -> tuple:
+    """The cache key of a fetch-legality entry.
+
+    Public so the CPU's fast interpreter can test membership in the
+    entry table directly without reconstructing the private intent
+    sentinel; :meth:`AssociativeMemory.fetch_probe` remains the
+    counting lookup.
+    """
+    return (segno, FETCH_PAGENO, ring, _FETCH)
+
 
 class AssociativeMemory:
     """Bounded cache of checked translations for one descriptor segment.
@@ -66,7 +86,16 @@ class AssociativeMemory:
     Replacement is round-robin (evict in insertion order), like the
     hardware's replacement cursor: a hit is a pure lookup, with no
     recency bookkeeping on the hot path.
+
+    Slotted: a 10k-user population carries one AM per process, and the
+    CPU touches the entry table on every reference.  ``__weakref__``
+    stays declared so the ``_LIVE`` cam-broadcast WeakSet keeps
+    working.
     """
+
+    __slots__ = ("capacity", "_entries", "_by_segno", "_by_uid",
+                 "_key_uid", "hits", "misses", "invalidations", "cams",
+                 "capacity_evictions", "__weakref__")
 
     def __init__(self, capacity: int = DEFAULT_ENTRIES) -> None:
         self.capacity = capacity
@@ -114,7 +143,7 @@ class AssociativeMemory:
     def fetch_probe(self, segno: int, ring: int) -> bool:
         """True if instruction fetch from ``segno`` in ``ring`` was
         already checked and not since invalidated."""
-        key = (segno, FETCH_PAGENO, ring, _FETCH)
+        key = fetch_key(segno, ring)
         if key in self._entries:
             self.hits += 1
             return True
@@ -131,7 +160,7 @@ class AssociativeMemory:
 
     def fetch_insert(self, segno: int, ring: int, uid: int | None) -> None:
         """Record one fully checked fetch-legality decision."""
-        self._insert((segno, FETCH_PAGENO, ring, _FETCH), None, segno, uid)
+        self._insert(fetch_key(segno, ring), None, segno, uid)
 
     def _insert(self, key, value, segno, uid) -> None:
         if self.capacity <= 0:
@@ -144,7 +173,15 @@ class AssociativeMemory:
         self._entries[key] = value
         self._by_segno.setdefault(segno, set()).add(key)
         if uid is not None:
-            self._by_uid.setdefault(uid, set()).add(key)
+            keys = self._by_uid.get(uid)
+            if keys is None:
+                self._by_uid[uid] = {key}
+                index = _BY_UID.get(uid)
+                if index is None:
+                    index = _BY_UID[uid] = weakref.WeakSet()
+                index.add(self)
+            else:
+                keys.add(key)
             self._key_uid[key] = uid
 
     # -- invalidation ----------------------------------------------------
@@ -164,6 +201,15 @@ class AssociativeMemory:
                 ukeys.discard(key)
                 if not ukeys:
                     del self._by_uid[uid]
+                    self._unindex(uid)
+
+    def _unindex(self, uid: int) -> None:
+        """Leave the global uid index once nothing is cached for it."""
+        index = _BY_UID.get(uid)
+        if index is not None:
+            index.discard(self)
+            if not index:
+                del _BY_UID[uid]
 
     def invalidate_segno(self, segno: int) -> int:
         """Clear every entry for one segment number (SDW add/remove)."""
@@ -200,6 +246,8 @@ class AssociativeMemory:
         dropped = len(self._entries)
         self._entries.clear()
         self._by_segno.clear()
+        for uid in list(self._by_uid):
+            self._unindex(uid)
         self._by_uid.clear()
         self._key_uid.clear()
         self.cams += 1
@@ -216,11 +264,18 @@ def cam_uid(uid: int | None, pageno: int | None = None) -> int:
 
     Page-control events are expressed in UIDs (a page of segment
     ``uid`` left or entered core) while AM entries are per-process
-    segment numbers; the per-AM uid index bridges the two.
+    segment numbers; the per-AM uid index bridges the two.  Only AMs
+    that actually cache the uid are visited (the ``_BY_UID`` index), so
+    the broadcast costs O(sharers), not O(live AMs).
     """
     if uid is None:
         return 0
-    return sum(am.invalidate_uid(uid, pageno) for am in list(_LIVE))
+    index = _BY_UID.get(uid)
+    if not index:
+        if index is not None:
+            del _BY_UID[uid]  # every registered AM died; drop the husk
+        return 0
+    return sum(am.invalidate_uid(uid, pageno) for am in list(index))
 
 
 def cam_all() -> int:

@@ -28,7 +28,7 @@ from typing import Callable, Protocol
 
 from repro.config import CostModel, RingMode
 from repro.errors import IllegalInstruction, MissingPageFault, ReproError
-from repro.hw.assoc import AssociativeMemory
+from repro.hw.assoc import AssociativeMemory, fetch_key
 from repro.hw.memory import MemoryLevel
 from repro.hw.rings import call_check, call_cost
 from repro.hw.segmentation import (
@@ -75,7 +75,7 @@ class Op(enum.Enum):
     SWAP = "swap"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     op: Op
     a: int = 0
@@ -92,13 +92,74 @@ class CodeSegment:
 
     ``entry_points`` names the public entries (offset -> name) used by
     gates and by the linker's definitions section.
+
+    The fast interpreter (:meth:`CPU.stepper` with ``fast_path``)
+    caches a decoded form of ``instructions`` — plain
+    ``(opcode, a, b, c)`` int tuples — on the segment, so a program
+    shared by thousands of processes decodes once.  The cache is
+    invalidated whenever the instruction list is replaced or resized.
     """
 
     instructions: list[Instruction]
     entry_points: dict[str, int] = field(default_factory=dict)
+    _decoded: list | None = field(default=None, repr=False, compare=False)
+    _decoded_src: list | None = field(default=None, repr=False,
+                                      compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+
+#: Op -> small-int opcode, in declaration order; the fast interpreter
+#: dispatches on these instead of enum identity.
+_OPCODE = {op: i for i, op in enumerate(Op)}
+
+_PUSHI = _OPCODE[Op.PUSHI]
+_LOAD = _OPCODE[Op.LOAD]
+_STORE = _OPCODE[Op.STORE]
+_LOADI = _OPCODE[Op.LOADI]
+_STOREI = _OPCODE[Op.STOREI]
+_LOADF = _OPCODE[Op.LOADF]
+_STOREF = _OPCODE[Op.STOREF]
+_ADD = _OPCODE[Op.ADD]
+_SUB = _OPCODE[Op.SUB]
+_MUL = _OPCODE[Op.MUL]
+_DIV = _OPCODE[Op.DIV]
+_MOD = _OPCODE[Op.MOD]
+_NEG = _OPCODE[Op.NEG]
+_EQ = _OPCODE[Op.EQ]
+_NE = _OPCODE[Op.NE]
+_LT = _OPCODE[Op.LT]
+_LE = _OPCODE[Op.LE]
+_GT = _OPCODE[Op.GT]
+_GE = _OPCODE[Op.GE]
+_NOT = _OPCODE[Op.NOT]
+_JMP = _OPCODE[Op.JMP]
+_JZ = _OPCODE[Op.JZ]
+_JNZ = _OPCODE[Op.JNZ]
+_CALL = _OPCODE[Op.CALL]
+_CALLL = _OPCODE[Op.CALLL]
+_RET = _OPCODE[Op.RET]
+_HALT = _OPCODE[Op.HALT]
+_DUP = _OPCODE[Op.DUP]
+_POP = _OPCODE[Op.POP]
+_SWAP = _OPCODE[Op.SWAP]
+
+
+#: "No cycle target": the fast interpreter runs to completion.
+_NO_TARGET = float("inf")
+
+
+def _decoded_for(code: CodeSegment) -> list[tuple[int, int, int, int]]:
+    """The decoded-instruction cache for ``code`` (build if stale)."""
+    decoded = code._decoded
+    if (decoded is None or code._decoded_src is not code.instructions
+            or len(decoded) != len(code.instructions)):
+        decoded = [(_OPCODE[i.op], i.a, i.b, i.c)
+                   for i in code.instructions]
+        code._decoded = decoded
+        code._decoded_src = code.instructions
+    return decoded
 
 
 @dataclass
@@ -132,7 +193,7 @@ class MachineContext(Protocol):
     def linkage(self) -> list[Link]: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class _Frame:
     return_segno: int
     return_pc: int
@@ -166,6 +227,7 @@ class CPU:
         meters=None,
         cpu_id: int = 0,
         private_am: AssociativeMemory | None = None,
+        fast_path: bool = False,
     ) -> None:
         self.core = core
         self.costs = costs
@@ -182,6 +244,12 @@ class CPU:
         self.meters = meters
         #: Which CPU of the complex this is (0 on a uniprocessor).
         self.cpu_id = cpu_id
+        #: Run the inlined interpreter loop (decoded instructions,
+        #: inlined AM probes, hoisted attribute chains).  Cycle charges,
+        #: counters, and fault behaviour are byte-identical to the
+        #: classic loop — bench E18's equivalence leg holds the two
+        #: against each other.
+        self.fast_path = fast_path
         #: A per-CPU associative memory, as on the real 6180 where the
         #: AM is processor hardware, not process state.  When set, it is
         #: used *instead of* the per-process ``ctx.dseg.am`` and cleared
@@ -341,7 +409,7 @@ class CPU:
         args: list[int] | None = None,
         max_instructions: int = 1_000_000,
     ) -> int:
-        runner = self._run(ctx, segno, entry, args, max_instructions)
+        runner = self.stepper(ctx, segno, entry, args, max_instructions)
         try:
             while True:
                 next(runner)
@@ -356,15 +424,28 @@ class CPU:
         args: list[int] | None = None,
         max_instructions: int = 1_000_000,
     ):
-        """A resumable execution: a generator that yields before each
-        instruction and returns the program's result via StopIteration.
+        """A resumable execution: a generator returning the program's
+        result via StopIteration.
 
         This is the SMP complex's hook: it advances each CPU's runner a
         bounded number of cycles per lockstep round, giving a
         deterministic interleaving on the simulated clock.  Unlike
         :meth:`execute`, no metering wrap is applied — the complex
         attributes cycles itself, per slice.
+
+        Protocol: the first ``next()`` runs entry setup and parks before
+        the first instruction.  After that the driver advances it with
+        ``send(target)`` — the classic loop yields before *every*
+        instruction (``send`` ≡ ``next``, the value is ignored), while
+        the fast loop runs instructions until
+        ``cycles + stall_cycles >= target`` and only then yields.
+        ``send(None)`` (what plain ``next()`` does) means "no target":
+        the fast loop runs to completion.  Instruction boundaries are
+        identical either way because both loops test the same condition
+        before each instruction.
         """
+        if self.fast_path:
+            return self._run_fast(ctx, segno, entry, args, max_instructions)
         return self._run(ctx, segno, entry, args, max_instructions)
 
     def _run(
@@ -492,6 +573,271 @@ class CPU:
                 return stack[-1] if stack else 0
             else:  # pragma: no cover - enum is closed
                 raise IllegalInstruction(f"cannot execute {op!r}")
+
+    def _run_fast(
+        self,
+        ctx: MachineContext,
+        segno: int,
+        entry: int = 0,
+        args: list[int] | None = None,
+        max_instructions: int = 1_000_000,
+    ):
+        """The inlined interpreter loop (see :meth:`stepper` for the
+        driving protocol).
+
+        Architecturally identical to :meth:`_run`: same checks in the
+        same order, same cycle charges, same counters, same faults.
+        What changes is the Python: instructions are decoded to int
+        tuples once per code segment, the AM probe and the translate
+        hit case are inlined (any non-hit falls back to the classic
+        :meth:`_translate` *before* touching a counter), cost constants
+        and bound methods are hoisted out of the loop, and the
+        generator suspends once per cycle target instead of once per
+        instruction.  ``self.cycles`` is charged directly — never
+        cached in a local — because the SMP complex reads it mid-fault
+        for virtual-time bookkeeping.
+        """
+        code = ctx.code_segment(segno)
+        sdw = ctx.dseg.get(segno)
+        new_ring = call_check(sdw.brackets, ctx.ring, entry, sdw.gates)
+        self.cycles += call_cost(self.costs, self.ring_mode, ctx.ring, new_ring)
+        self._count_call(ctx.ring, new_ring)
+
+        stack: list[int] = []
+        frames: list[_Frame] = [
+            _Frame(-1, -1, ctx.ring, list(args or []), 0)
+        ]
+        ctx.ring = new_ring
+        pc = entry
+        executed = 0
+        am = self._am_for(ctx)
+
+        # Hoisted loop invariants.
+        costs = self.costs
+        inst_cost = costs.instruction
+        hit_cost = costs.am_hit
+        walk_cost = costs.translate_walk
+        core_cost = costs.core_access
+        hit_core = hit_cost + core_cost
+        page_size = self.page_size
+        core_read = self.core.read
+        core_write = self.core.write
+        translate_slow = self._translate
+        dseg = ctx.dseg
+        entries = am._entries if am is not None else None
+        R, W, F = Intent.READ, Intent.WRITE, Intent.FETCH
+        ring = ctx.ring
+        decoded = _decoded_for(code)
+        n_inst = len(decoded)
+        fkey = fetch_key(segno, ring)
+
+        target = yield
+        while True:
+            limit = target if target is not None else _NO_TARGET
+            while self.cycles + self.stall_cycles < limit:
+                if executed >= max_instructions:
+                    raise ExecutionLimit(
+                        f"exceeded {max_instructions} instructions"
+                    )
+                if not 0 <= pc < n_inst:
+                    raise IllegalInstruction(
+                        f"pc {pc} outside code segment {segno}"
+                    )
+                # Instruction fetch check (same order and counters as
+                # AssociativeMemory.fetch_probe + the classic walk).
+                if entries is not None:
+                    if fkey in entries:
+                        am.hits += 1
+                        self.cycles += hit_cost
+                        self.am_hit_cycles += hit_cost
+                    else:
+                        am.misses += 1
+                        sdw = dseg.get(segno)
+                        check_access(sdw, ring, F)
+                        self.cycles += walk_cost
+                        self.walk_cycles += walk_cost
+                        am.fetch_insert(segno, ring, sdw.uid)
+                else:
+                    sdw = dseg.get(segno)
+                    check_access(sdw, ring, F)
+                    self.cycles += walk_cost
+                    self.walk_cycles += walk_cost
+
+                op, a, b, c = decoded[pc]
+                pc += 1
+                executed += 1
+                self.instructions_executed += 1
+                self.cycles += inst_cost
+
+                if op == _PUSHI:
+                    stack.append(a)
+                elif op == _LOAD or op == _LOADI:
+                    if op == _LOAD:
+                        off = b
+                    else:
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        off = stack.pop()
+                    if entries is not None and off >= 0:
+                        pg = off // page_size
+                        e = entries.get((a, pg, ring, R))
+                        if e is not None:
+                            fr, ptw, bnd = e
+                            if off < bnd and ptw.in_core and ptw.frame == fr:
+                                am.hits += 1
+                                self.cycles += hit_core
+                                self.am_hit_cycles += hit_cost
+                                ptw.used = True
+                                stack.append(
+                                    core_read(fr, off - pg * page_size)
+                                )
+                                continue
+                    fr, word = translate_slow(ctx, a, off, R)
+                    self.cycles += core_cost
+                    stack.append(core_read(fr, word))
+                elif op == _STORE or op == _STOREI:
+                    if op == _STORE:
+                        off = b
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        value = stack.pop()
+                    else:
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        off = stack.pop()
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        value = stack.pop()
+                    if entries is not None and off >= 0:
+                        pg = off // page_size
+                        e = entries.get((a, pg, ring, W))
+                        if e is not None:
+                            fr, ptw, bnd = e
+                            if off < bnd and ptw.in_core and ptw.frame == fr:
+                                am.hits += 1
+                                self.cycles += hit_core
+                                self.am_hit_cycles += hit_cost
+                                ptw.used = True
+                                ptw.modified = True
+                                core_write(fr, off - pg * page_size, value)
+                                continue
+                    fr, word = translate_slow(ctx, a, off, W)
+                    self.cycles += core_cost
+                    core_write(fr, word, value)
+                elif op == _LOADF:
+                    frame = frames[-1]
+                    slots = frame.slots
+                    if 0 <= a < len(slots):
+                        stack.append(slots[a])
+                    else:
+                        self._check_slot(frame, a)
+                elif op == _STOREF:
+                    frame = frames[-1]
+                    self._check_slot(frame, a, grow=True)
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    frame.slots[a] = stack.pop()
+                elif _ADD <= op <= _GE and op != _NEG:
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    rhs = stack.pop()
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    lhs = stack.pop()
+                    if op == _ADD:
+                        stack.append(lhs + rhs)
+                    elif op == _SUB:
+                        stack.append(lhs - rhs)
+                    elif op == _MUL:
+                        stack.append(lhs * rhs)
+                    elif op == _EQ:
+                        stack.append(int(lhs == rhs))
+                    elif op == _NE:
+                        stack.append(int(lhs != rhs))
+                    elif op == _LT:
+                        stack.append(int(lhs < rhs))
+                    elif op == _LE:
+                        stack.append(int(lhs <= rhs))
+                    elif op == _GT:
+                        stack.append(int(lhs > rhs))
+                    elif op == _GE:
+                        stack.append(int(lhs >= rhs))
+                    elif op == _DIV:
+                        stack.append(_div(lhs, rhs))
+                    else:
+                        stack.append(_mod(lhs, rhs))
+                elif op == _JMP:
+                    pc = a
+                elif op == _JZ:
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    if stack.pop() == 0:
+                        pc = a
+                elif op == _JNZ:
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    if stack.pop() != 0:
+                        pc = a
+                elif op == _NEG:
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    stack.append(-stack.pop())
+                elif op == _NOT:
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    stack.append(0 if stack.pop() else 1)
+                elif op == _DUP:
+                    stack.append(stack[-1])
+                elif op == _POP:
+                    if not stack:
+                        raise IllegalInstruction("operand stack underflow")
+                    stack.pop()
+                elif op == _SWAP:
+                    stack[-1], stack[-2] = stack[-2], stack[-1]
+                elif op == _CALL:
+                    segno, code, pc = self._do_call(
+                        ctx, frames, stack, segno, pc, a, b, c,
+                    )
+                    ring = ctx.ring
+                    decoded = _decoded_for(code)
+                    n_inst = len(decoded)
+                    fkey = fetch_key(segno, ring)
+                elif op == _CALLL:
+                    tgt = self._resolve_link(ctx, a)
+                    segno, code, pc = self._do_call(
+                        ctx, frames, stack, segno, pc, tgt[0], tgt[1], b,
+                    )
+                    ring = ctx.ring
+                    decoded = _decoded_for(code)
+                    n_inst = len(decoded)
+                    fkey = fetch_key(segno, ring)
+                elif op == _RET:
+                    result = stack.pop() if stack else 0
+                    frame = frames.pop()
+                    ctx.ring = frame.return_ring
+                    ring = frame.return_ring
+                    if not frames:
+                        return result
+                    stack.append(result)
+                    segno = frame.return_segno
+                    code = ctx.code_segment(segno)
+                    pc = frame.return_pc
+                    decoded = _decoded_for(code)
+                    n_inst = len(decoded)
+                    fkey = fetch_key(segno, ring)
+                elif op == _HALT:
+                    return stack[-1] if stack else 0
+                else:  # pragma: no cover - enum is closed
+                    raise IllegalInstruction(f"cannot execute opcode {op}")
+            target = yield
 
     # -- helpers -----------------------------------------------------------
 

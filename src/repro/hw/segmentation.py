@@ -77,12 +77,14 @@ class Intent(enum.Enum):
     FETCH = "fetch"  #: instruction fetch
 
 
-@dataclass
+@dataclass(slots=True)
 class PTW:
     """Page table word: core-residence state of one page.
 
     ``used`` and ``modified`` are the hardware-maintained bits that
     replacement policies sample (through gates, in the new design — E7).
+    Slotted: one PTW exists per page of every active segment, and the
+    CPU touches one per reference — the hottest struct in the machine.
     """
 
     in_core: bool = False
@@ -230,7 +232,15 @@ def translate(
     the cached SDW bound (see :mod:`repro.hw.assoc` for the
     invalidation contract that keeps the cache honest).
     """
+    if offset < 0:
+        # Reject before the AM is even probed: a negative offset maps
+        # to pageno -1, and no cached entry may ever witness it.
+        sdw = dseg.get(segno)
+        raise BoundsViolation(
+            f"offset {offset} outside bound {sdw.bound} of segment {segno}"
+        )
     pageno = offset // page_size
+    word = offset - pageno * page_size
     if am is not None:
         hit = am.probe(segno, pageno, ring, intent, offset)
         if hit is not None:
@@ -238,9 +248,9 @@ def translate(
             ptw.used = True
             if intent is Intent.WRITE:
                 ptw.modified = True
-            return frame, offset - pageno * page_size
+            return frame, word
     sdw = dseg.get(segno)
-    if offset < 0 or offset >= sdw.bound:
+    if offset >= sdw.bound:
         raise BoundsViolation(
             f"offset {offset} outside bound {sdw.bound} of segment {segno}"
         )
@@ -254,4 +264,4 @@ def translate(
     if am is not None:
         am.insert(segno, pageno, ring, intent, ptw.frame, ptw,
                   sdw.bound, sdw.uid)
-    return ptw.frame, offset % page_size
+    return ptw.frame, word

@@ -65,13 +65,14 @@ from repro.hw.cpu import CPU, MachineContext
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuJob:
     """One program execution submitted to the complex.
 
     Inputs mirror :meth:`CPU.execute`; results are filled in when the
     job completes (``result`` on success, ``error`` on a contained
-    hardware fault).
+    hardware fault).  Slotted: a workload run carries tens of
+    thousands of these.
     """
 
     ctx: MachineContext
@@ -100,9 +101,16 @@ class CpuJob:
 class _Slot:
     """One CPU's current assignment."""
 
+    __slots__ = ("job", "gen", "primed", "c0", "h0", "w0", "x0", "s0",
+                 "i0")
+
     def __init__(self, job: CpuJob, gen) -> None:
         self.job = job
         self.gen = gen
+        #: Whether the stepper has run its entry setup (first ``next``)
+        #: and parked before instruction one — see CPU.stepper's
+        #: driving protocol.
+        self.primed = False
         # Per-job counter baselines on the hosting CPU.
         self.c0 = 0
         self.h0 = 0
@@ -158,6 +166,7 @@ class SmpComplex:
                 meters=meters,
                 cpu_id=i,
                 private_am=private_am,
+                fast_path=config.fast_path,
             ))
         self._queue: deque[CpuJob] = deque()
         self._running: list[_Slot | None] = [None] * self.n_cpus
@@ -397,8 +406,19 @@ class SmpComplex:
             self._slice_start[i] = start
             target = start + quantum
             try:
+                # Drive the stepper protocol: the priming next() runs
+                # entry setup under the same budget condition the old
+                # per-instruction loop applied, then each send(target)
+                # advances to the cycle target — one resume per
+                # instruction for the classic interpreter, one per
+                # round for the fast one.
+                gen = slot.gen
                 while cpu.cycles + cpu.stall_cycles < target:
-                    next(slot.gen)
+                    if not slot.primed:
+                        next(gen)
+                        slot.primed = True
+                    else:
+                        gen.send(target)
             except StopIteration as stop:
                 self._finish(i, slot, stop.value, None)
             except ReproError as exc:

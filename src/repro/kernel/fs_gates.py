@@ -55,10 +55,20 @@ def _owner_acl(process: "Process") -> Acl:
 
 
 def _used_pages(services: "KernelServices", directory: Directory) -> int:
+    """Segment pages charged against ``directory``'s quota.
+
+    Memoized on the directory (a segment's page count never changes
+    after creation): the full branch scan runs only after a structural
+    mutation invalidated the memo, so bulk creation is O(1) per segment
+    instead of O(entries)."""
+    cached = directory.used_pages_cache
+    if cached is not None:
+        return cached
     total = 0
     for branch in directory.list_branches():
         if not branch.is_directory and services.ufs.exists(branch.uid):
             total += services.ufs.record(branch.uid).n_pages
+    directory.used_pages_cache = total
     return total
 
 
@@ -75,7 +85,8 @@ def h_create_segment(services, process, dir_segno, name, n_pages, label):
             f"segment label {label} must dominate directory label "
             f"{directory.label}"
         )
-    if _used_pages(services, directory) + n_pages > directory.quota_pages:
+    used = _used_pages(services, directory)
+    if used + n_pages > directory.quota_pages:
         raise QuotaExceeded(
             f"directory {directory.name} quota of "
             f"{directory.quota_pages} pages exceeded"
@@ -96,6 +107,8 @@ def h_create_segment(services, process, dir_segno, name, n_pages, label):
     except Exception:
         services.ufs.delete_segment(uid)
         raise
+    # add() invalidated the memo; re-seed it with what we just charged.
+    directory.used_pages_cache = used + n_pages
     return uid
 
 

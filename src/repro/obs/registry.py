@@ -253,6 +253,11 @@ def validate_snapshot(doc: object) -> list[str]:
                 errors.append(f"{section}: bad metric name {name!r}")
             if want_scalar and not isinstance(value, (int, float)):
                 errors.append(f"{section}.{name}: value must be a number")
+    # Bench exports (scripts/run_benches.py, the benchmark export
+    # fixture) merge one extra section of derived numbers into the
+    # snapshot; validate the merged document, not just the snapshot.
+    if "bench" in doc and not isinstance(doc["bench"], dict):
+        errors.append("bench section must be an object")
     histograms = doc.get("histograms")
     if not isinstance(histograms, dict):
         errors.append("histograms must be an object")

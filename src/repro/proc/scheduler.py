@@ -214,6 +214,12 @@ class TrafficController:
                     # a raising one must not wedge dispatch.
                     self.advisor_failures += 1
                     index = None
+                if isinstance(index, bool):
+                    # bool is an int subtype; True/False is broken
+                    # advice, not index 1/0 — never let it reorder
+                    # dispatch silently.
+                    self.advisor_failures += 1
+                    index = None
                 if isinstance(index, int) and 0 <= index < len(self._ready_user):
                     self._ready_user.rotate(-index)
                     chosen = self._ready_user.popleft()

@@ -52,9 +52,16 @@ class LoginListener:
     # -- the dialogue --------------------------------------------------------
 
     def login(self, person: str, project: str, password: str,
-              source: str = "network") -> UserSession:
-        """Run the login dialogue; one kernel call does the trust step."""
-        self.transcript.append(f"login {person} {project} from {source}")
+              source: str = "network", quiet: bool = False) -> UserSession:
+        """Run the login dialogue; one kernel call does the trust step.
+
+        ``quiet`` suppresses the transcript lines (not the failure
+        accounting): bulk drivers (:mod:`repro.workloads`) log in tens
+        of thousands of sessions, and the dialogue text is per-terminal
+        chatter, not security state.
+        """
+        if not quiet:
+            self.transcript.append(f"login {person} {project} from {source}")
         try:
             pid = self._sup.call(
                 self._process,
@@ -66,7 +73,8 @@ class LoginListener:
             )
         except (AuthenticationError, KernelDenial):
             self.failed_attempts += 1
-            self.transcript.append(f"login incorrect: {person}")
+            if not quiet:
+                self.transcript.append(f"login incorrect: {person}")
             raise
         session = UserSession(
             session_id=next(self._ids),
@@ -77,7 +85,8 @@ class LoginListener:
             logged_in_at=self._sup.services.sim.clock.now,
         )
         self.sessions[session.session_id] = session
-        self.transcript.append(self.greeting)
+        if not quiet:
+            self.transcript.append(self.greeting)
         return session
 
     def logout(self, session_id: int) -> None:

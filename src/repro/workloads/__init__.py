@@ -1,0 +1,32 @@
+"""Synthetic multi-user workloads over the simulated kernel.
+
+The paper's kernel served an interactive time-sharing population; this
+package generates one.  A seeded population of user profiles (shell,
+compile, io, paging mixes) logs in through the non-privileged E14
+listener path, arrives under a shaped process (Poisson or bursty), and
+runs its interactive bursts through the SMP complex in batches.  The
+driver reports admitted users/sec and p50/p95 interactive latency in
+simulated cycles, and registers ``workload.*`` metrics in the
+``repro.obs/v1`` snapshot.  Bench E18 runs this at 1k and 10k users.
+"""
+
+from repro.workloads.arrivals import bursty_arrivals, poisson_arrivals
+from repro.workloads.driver import (
+    UserSpec,
+    WorkloadDriver,
+    WorkloadReport,
+    generate_population,
+)
+from repro.workloads.profiles import DEFAULT_MIX, PROFILES, Profile
+
+__all__ = [
+    "DEFAULT_MIX",
+    "PROFILES",
+    "Profile",
+    "UserSpec",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "bursty_arrivals",
+    "generate_population",
+    "poisson_arrivals",
+]

@@ -1,0 +1,142 @@
+"""User behavior profiles and their generated programs.
+
+Each profile describes one kind of interactive user as the mix the
+Multics sites actually saw: quick shell commands, long compilations,
+store-heavy io daemons, and working sets too large for their share of
+core.  A profile compiles to one small object-segment program — a loop
+that strides through the user's private data segment — whose shape
+(loop length, stride, store ratio, extra ALU work) realizes the
+behavior on the simulated CPU:
+
+* ``shell`` — short read bursts over one page: command interpretation.
+* ``compile`` — long ALU-heavy passes over a small working set.
+* ``io`` — streaming read-modify-write over a buffer segment.
+* ``paging`` — page-sized strides across a working set several times
+  the size of the others, generating steady fault traffic.
+
+Programs are position-independent except for the segment number of the
+data segment, which the ``LOADI``/``STOREI`` operand bakes in.  Bulk
+sessions initiate their address spaces in an identical order, so the
+driver bakes the canary session's data segno and verifies each user
+landed on the same one (patching a private copy when not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cpu import Instruction as I, Op
+from repro.user.object_format import ObjectSegment
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One user behavior class (see module docstring)."""
+
+    name: str
+    #: Pages of private data the user strides over.
+    data_pages: int
+    #: Loop iterations per interactive burst.
+    iters: int
+    #: Offset stride between touches (page-sized strides page-fault).
+    stride: int
+    #: Store back every touch (read-modify-write) instead of read-only.
+    stores: bool
+    #: Extra ALU operations folded into each iteration.
+    alu: int
+
+
+PROFILES: dict[str, Profile] = {
+    "shell": Profile("shell", data_pages=1, iters=24, stride=1,
+                     stores=False, alu=0),
+    "compile": Profile("compile", data_pages=2, iters=160, stride=3,
+                       stores=False, alu=2),
+    "io": Profile("io", data_pages=2, iters=96, stride=1,
+                  stores=True, alu=0),
+    "paging": Profile("paging", data_pages=8, iters=64, stride=17,
+                      stores=False, alu=0),
+}
+
+#: Population mix when the caller does not specify one: mostly shell
+#: users, the rest split across the heavier classes.
+DEFAULT_MIX: dict[str, float] = {
+    "shell": 0.55,
+    "compile": 0.2,
+    "io": 0.15,
+    "paging": 0.1,
+}
+
+
+def build_program(profile: Profile, data_segno: int,
+                  page_size: int) -> ObjectSegment:
+    """Compile ``profile`` into an object segment touching
+    ``data_segno``.
+
+    The program is one loop, frame slots 0=acc, 1=i::
+
+        for i in range(iters):
+            off = (i * stride) % span
+            acc = acc + M[data][off]
+            (stores:) M[data][off] = acc
+            (alu:)    acc = acc * 3 % 8191   # per extra ALU op
+
+    It returns ``acc`` — a data-dependent checksum, so a wrong load
+    anywhere changes the job result.
+    """
+    span = profile.data_pages * page_size
+    code: list[I] = [
+        I(Op.PUSHI, 0), I(Op.STOREF, 0),          # acc = 0
+        I(Op.PUSHI, 0), I(Op.STOREF, 1),          # i = 0
+    ]
+    top = len(code)
+    code += [
+        I(Op.LOADF, 1), I(Op.PUSHI, profile.iters), I(Op.LT),
+        I(Op.JZ, -1),                              # patched to `end`
+        # off = (i * stride) % span  ... kept on the stack
+        I(Op.LOADF, 1), I(Op.PUSHI, profile.stride), I(Op.MUL),
+        I(Op.PUSHI, span), I(Op.MOD),
+    ]
+    if profile.stores:
+        # acc += M[data][off]; M[data][off] = acc
+        code += [
+            I(Op.DUP),
+            I(Op.LOADI, data_segno),
+            I(Op.LOADF, 0), I(Op.ADD), I(Op.STOREF, 0),
+            I(Op.LOADF, 0), I(Op.SWAP),
+            I(Op.STOREI, data_segno),
+        ]
+    else:
+        code += [
+            I(Op.LOADI, data_segno),
+            I(Op.LOADF, 0), I(Op.ADD), I(Op.STOREF, 0),
+        ]
+    for _ in range(profile.alu):
+        code += [
+            I(Op.LOADF, 0), I(Op.PUSHI, 3), I(Op.MUL),
+            I(Op.PUSHI, 8191), I(Op.MOD), I(Op.STOREF, 0),
+        ]
+    code += [
+        I(Op.LOADF, 1), I(Op.PUSHI, 1), I(Op.ADD), I(Op.STOREF, 1),
+        I(Op.JMP, top),
+    ]
+    end = len(code)
+    code += [I(Op.LOADF, 0), I(Op.RET)]
+    jz = top + 3
+    code[jz] = I(Op.JZ, end)
+    return ObjectSegment(
+        f"wl_{profile.name}", code=code, definitions={"main": 0}
+    )
+
+
+def rebind_data_segno(obj: ObjectSegment, data_segno: int) -> ObjectSegment:
+    """A copy of ``obj`` with its indirect references re-baked (used
+    when a session's data segment landed on an unexpected segno)."""
+    return ObjectSegment(
+        obj.name,
+        code=[
+            I(inst.op, data_segno)
+            if inst.op in (Op.LOADI, Op.STOREI) else inst
+            for inst in obj.code
+        ],
+        definitions=dict(obj.definitions),
+    )

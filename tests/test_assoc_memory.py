@@ -303,3 +303,33 @@ class TestArchitecturalEquivalence:
     def test_config_rejects_nonpositive_am_entries(self):
         with pytest.raises(ValueError):
             kernel_config(am_entries=0).validate()
+
+
+class TestOffsetHandling:
+    """Regressions for the word-offset unification: the AM hit path and
+    the full walk must agree on ``(frame, word)``, and a negative
+    offset must be rejected before the cache is even consulted."""
+
+    def test_negative_offset_never_probes_the_am(self):
+        dseg = make_dseg()
+        am = dseg.am
+        translate(dseg, 5, 0, 4, Intent.READ, PAGE, am=am)  # prime page 0
+        hits, misses = am.hits, am.misses
+        with pytest.raises(BoundsViolation):
+            translate(dseg, 5, -1, 4, Intent.READ, PAGE, am=am)
+        # A negative offset maps to pageno -1; no probe may witness it.
+        assert (am.hits, am.misses) == (hits, misses)
+
+    def test_negative_offset_faults_identically_with_am_off(self):
+        dseg = make_dseg()
+        with pytest.raises(BoundsViolation):
+            translate(dseg, 5, -7, 4, Intent.READ, PAGE, am=None)
+        with pytest.raises(BoundsViolation):
+            translate(dseg, 5, -7, 4, Intent.READ, PAGE, am=dseg.am)
+
+    def test_hit_and_walk_agree_on_word_offset(self):
+        dseg = make_dseg(n_pages=2)
+        walk = translate(dseg, 5, PAGE + 5, 4, Intent.READ, PAGE, am=dseg.am)
+        hit = translate(dseg, 5, PAGE + 5, 4, Intent.READ, PAGE, am=dseg.am)
+        assert dseg.am.hits == 1
+        assert walk == hit == (11, 5)

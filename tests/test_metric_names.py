@@ -8,10 +8,12 @@ import re
 import pytest
 
 from repro import kernel_config, legacy_config
+from repro.config import SupervisorKind
 from repro.faults.harness import harness_config
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs import NAME_RE
 from repro.system import MulticsSystem
+from repro.workloads import WorkloadDriver
 
 DESIGN = pathlib.Path(__file__).resolve().parent.parent / "DESIGN.md"
 
@@ -59,6 +61,8 @@ def registered_names() -> set[str]:
             },
             complex_=cx,
         )
+        if config.supervisor is not SupervisorKind.LEGACY:
+            WorkloadDriver(system)  # workload.* names register per-driver
         names.update(system.metrics.names())
     return names
 

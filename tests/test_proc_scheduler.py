@@ -408,6 +408,33 @@ class TestAdvisorRobustness:
         tc = TrafficController(Simulator(), config)
         assert tc.advisor_failures == 0
 
+    def test_bool_advisor_is_broken_advice_not_index_one(self, config):
+        """``bool`` is an ``int`` subtype: an advisor returning True
+        must be counted as a failure and fall back to FIFO, never be
+        honoured as index 1 (which would silently reorder dispatch)."""
+        tc = TrafficController(Simulator(), config)
+        tc.dispatch_advisor = lambda ready: True
+        order = []
+
+        def body(name):
+            def gen(proc):
+                order.append(name)
+                yield Charge(1)
+
+            return gen
+
+        def busy(proc):
+            yield Charge(10)
+
+        tc.add_process(Process("busy", body=busy))
+        tc.add_process(Process("a", body=body("a")))
+        tc.add_process(Process("b", body=body("b")))
+        run(tc)
+        # True-as-index-1 would have produced ["b", "a"].
+        assert order == ["a", "b"]
+        assert tc.advisor_failures > 0
+        assert all(p.state is ProcessState.STOPPED for p in tc.processes)
+
 
 class TestVpWaitFifo:
     def test_vp_wait_fifo_across_block_unblock(self, config):

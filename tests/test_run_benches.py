@@ -1,0 +1,91 @@
+"""Regressions for scripts/run_benches.py: the export name derives
+from the PR tag (``--pr`` flag, ``BENCH_PR`` env, baked default) rather
+than a hardcoded filename, and the document written is the *merged*
+export (snapshot + ``bench`` section) validated as a whole."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = ROOT / "scripts" / "run_benches.py"
+
+
+@pytest.fixture(scope="module")
+def rb():
+    spec = importlib.util.spec_from_file_location("run_benches", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["run_benches"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("run_benches", None)
+
+
+@pytest.fixture()
+def sandbox(rb, tmp_path, monkeypatch):
+    """Redirect the default export root and stub the one bench we run
+    so the CLI paths are testable in milliseconds."""
+    monkeypatch.setattr(rb, "_ROOT", tmp_path)
+    monkeypatch.setattr(rb, "bench_e4", lambda: {"stub": True})
+    monkeypatch.delenv("BENCH_PR", raising=False)
+    return tmp_path
+
+
+def test_default_name_derives_from_default_pr(rb, sandbox):
+    assert rb.main(["run_benches", "--only", "E4"]) == 0
+    out = sandbox / "benchmarks" / "results" / f"BENCH_{rb.DEFAULT_PR}.json"
+    assert out.exists()  # parents were created, too
+    doc = json.loads(out.read_text())
+    assert doc["bench"]["e4_ring_cost"] == {"stub": True}
+    assert doc["schema"].startswith("repro.obs/")
+
+
+def test_current_default_pr_tag(rb):
+    assert rb.DEFAULT_PR == "pr7"
+
+
+def test_pr_flag_overrides_default(rb, sandbox):
+    assert rb.main(["run_benches", "--pr", "pr9", "--only", "E4"]) == 0
+    assert (sandbox / "benchmarks" / "results" / "BENCH_pr9.json").exists()
+
+
+def test_bench_pr_env_overrides_default(rb, sandbox, monkeypatch):
+    monkeypatch.setenv("BENCH_PR", "pr8")
+    assert rb.main(["run_benches", "--only", "E4"]) == 0
+    assert (sandbox / "benchmarks" / "results" / "BENCH_pr8.json").exists()
+
+
+def test_pr_flag_beats_env(rb, sandbox, monkeypatch):
+    monkeypatch.setenv("BENCH_PR", "pr8")
+    assert rb.main(["run_benches", "--pr", "pr10", "--only", "E4"]) == 0
+    results = sandbox / "benchmarks" / "results"
+    assert (results / "BENCH_pr10.json").exists()
+    assert not (results / "BENCH_pr8.json").exists()
+
+
+def test_explicit_output_path_still_wins(rb, sandbox, tmp_path):
+    out = tmp_path / "deep" / "nested" / "custom.json"
+    assert rb.main(["run_benches", str(out), "--only", "E4"]) == 0
+    assert out.exists()
+
+
+def test_pr_flag_requires_a_tag(rb, sandbox):
+    assert rb.main(["run_benches", "--pr"]) == 2
+
+
+def test_unknown_only_id_is_an_error(rb, sandbox):
+    assert rb.main(["run_benches", "--only", "E99"]) == 2
+    assert rb.main(["run_benches", "--only", ","]) == 2
+
+
+def test_invalid_merged_document_refuses_to_write(rb, sandbox, monkeypatch):
+    """Validation covers the document actually written: a snapshot that
+    fails the schema aborts the export with nothing on disk."""
+    monkeypatch.setattr(rb, "_boot_snapshot",
+                        lambda: {"schema": "bogus/v0"})
+    assert rb.main(["run_benches", "--only", "E4"]) == 1
+    results = sandbox / "benchmarks" / "results"
+    assert not results.exists() or not list(results.iterdir())
