@@ -129,17 +129,18 @@ def test_e18_workload(report, export):
     ])
 
 
-def bench_numbers() -> tuple[dict, dict]:
-    """(derived numbers, metrics snapshot) for scripts/run_benches.py."""
+def bench_numbers(quick: bool = False) -> tuple[dict, dict]:
+    """(derived numbers, metrics snapshot) for scripts/run_benches.py.
+
+    ``quick`` skips the 10k-user leg (its keys are then absent) so a
+    local ``--quick`` run stays interactive.
+    """
     t0 = time.perf_counter()
     fast_1k = workload_run(USERS_1K, fast=True)
     classic_1k = workload_run(USERS_1K, fast=False)
-    fast_10k = workload_run(USERS_10K, fast=True)
-    d1, d10 = fast_1k["derived"], fast_10k["derived"]
+    d1 = fast_1k["derived"]
     derived = {
-        "wall_seconds": round(time.perf_counter() - t0, 4),
         "users_1k": USERS_1K,
-        "users_10k": USERS_10K,
         "equivalent": equivalent(fast_1k, classic_1k),
         "wall_speedup_1k": round(
             classic_1k["report"].wall_seconds
@@ -147,11 +148,20 @@ def bench_numbers() -> tuple[dict, dict]:
         ),
         "users_per_sec_1k": d1["users_per_sec"],
         "cycles_per_sec_1k": d1["cycles_per_sec"],
-        "users_per_sec_10k": d10["users_per_sec"],
-        "cycles_per_sec_10k": d10["cycles_per_sec"],
-        "p50_latency_cycles_10k": d10["p50_latency_cycles"],
-        "p95_latency_cycles_10k": d10["p95_latency_cycles"],
-        "admitted_10k": d10["admitted"],
-        "jobs_failed_10k": d10["jobs_failed"],
     }
-    return derived, json.loads(fast_10k["snapshot_json"])
+    snapshot = json.loads(fast_1k["snapshot_json"])
+    if not quick:
+        fast_10k = workload_run(USERS_10K, fast=True)
+        d10 = fast_10k["derived"]
+        derived.update({
+            "users_10k": USERS_10K,
+            "users_per_sec_10k": d10["users_per_sec"],
+            "cycles_per_sec_10k": d10["cycles_per_sec"],
+            "p50_latency_cycles_10k": d10["p50_latency_cycles"],
+            "p95_latency_cycles_10k": d10["p95_latency_cycles"],
+            "admitted_10k": d10["admitted"],
+            "jobs_failed_10k": d10["jobs_failed"],
+        })
+        snapshot = json.loads(fast_10k["snapshot_json"])
+    derived["wall_seconds"] = round(time.perf_counter() - t0, 4)
+    return derived, snapshot

@@ -21,12 +21,16 @@ give an explicit output path.
 same workloads pytest selects with the ``bench`` marker
 (``pytest -m bench benchmarks/``); this runner just skips the
 collection machinery.  An unknown or empty id list is an error that
-names the known ids, never a silent no-op run.
+names the known ids, never a silent no-op run.  ``--list`` prints the
+known ids and exits; ``--quick`` skips the 10k/100k-user legs of E18
+and E19 so a local full sweep stays interactive (quick runs never
+assert the scale-dependent speedup floors).
 
 Usage::
 
-    python scripts/run_benches.py [output.json] [--pr pr7]
-                                  [--only E16[,E5,...]]
+    python scripts/run_benches.py [output.json] [--pr pr8]
+                                  [--only E16[,E5,...]] [--quick]
+    python scripts/run_benches.py --list
 """
 
 from __future__ import annotations
@@ -53,15 +57,16 @@ from test_e15_assoc_memory import (  # noqa: E402
 from test_e16_metering import combined_workload  # noqa: E402
 from test_e17_smp import bench_numbers as smp_bench_numbers  # noqa: E402
 from test_e18_workload import bench_numbers as workload_bench_numbers  # noqa: E402
+from test_e19_sharded import bench_numbers as sharded_bench_numbers  # noqa: E402
 from test_r2_chaos import bench_numbers as chaos_bench_numbers  # noqa: E402
 
 #: Experiment ids this runner knows, in execution order.  These are the
 #: same workloads pytest runs under the ``bench`` marker.
-BENCH_IDS = ("E4", "E5", "E15", "E16", "E17", "E18", "R2")
+BENCH_IDS = ("E4", "E5", "E15", "E16", "E17", "E18", "E19", "R2")
 
 #: The PR tag this checkout exports by default — the one place to bump
 #: per PR (``--pr`` / ``BENCH_PR`` override it at run time).
-DEFAULT_PR = "pr7"
+DEFAULT_PR = "pr8"
 
 
 def bench_e4() -> dict:
@@ -145,6 +150,13 @@ def _boot_snapshot() -> dict:
 
 def main(argv: list[str]) -> int:
     args = list(argv[1:])
+    if "--list" in args:
+        for bench_id in BENCH_IDS:
+            print(bench_id)
+        return 0
+    quick = "--quick" in args
+    if quick:
+        args.remove("--quick")
     pr = os.environ.get("BENCH_PR", DEFAULT_PR)
     if "--pr" in args:
         at = args.index("--pr")
@@ -181,7 +193,7 @@ def main(argv: list[str]) -> int:
     t0 = time.perf_counter()
     bench: dict = {}
     snapshot: dict | None = None
-    e15 = e16 = e17 = e18 = r2 = None
+    e15 = e16 = e17 = e18 = e19 = r2 = None
     if "E4" in selected:
         bench["e4_ring_cost"] = bench_e4()
     if "E5" in selected:
@@ -196,8 +208,11 @@ def main(argv: list[str]) -> int:
         e17, snapshot = smp_bench_numbers()
         bench["e17_smp"] = e17
     if "E18" in selected:
-        e18, snapshot = workload_bench_numbers()
+        e18, snapshot = workload_bench_numbers(quick=quick)
         bench["e18_workload"] = e18
+    if "E19" in selected:
+        e19, snapshot = sharded_bench_numbers(quick=quick)
+        bench["e19_sharded"] = e19
     if "R2" in selected:
         r2, snapshot = chaos_bench_numbers()
         bench["r2_chaos"] = r2
@@ -232,11 +247,23 @@ def main(argv: list[str]) -> int:
               f"1-CPU identity {e17['one_cpu_identity']}  "
               f"replay identical {e17['deterministic_replay']}")
     if e18 is not None:
-        print(f"  workload: {e18['users_10k']} users  "
+        scale = "10k" if "users_10k" in e18 else "1k"
+        print(f"  workload: {e18.get('users_10k', e18['users_1k'])} users  "
               f"fast-path wall x{e18['wall_speedup_1k']}  "
-              f"{e18['cycles_per_sec_10k']:.0f} cycles/s  "
-              f"{e18['users_per_sec_10k']:.1f} users/s  "
+              f"{e18[f'cycles_per_sec_{scale}']:.0f} cycles/s  "
+              f"{e18[f'users_per_sec_{scale}']:.1f} users/s  "
               f"equivalent {e18['equivalent']}")
+    if e19 is not None:
+        big = (f"  100k-user leg: {e19['users_per_sec_100k']:.1f} users/s "
+               f"over {e19['shards_100k']} shards ({e19['mode_100k']})"
+               if "users_100k" in e19 else "  (quick: 100k leg skipped)")
+        print(f"  sharded: x{e19['speedup_2shard']} at 2 shards, "
+              f"x{e19['speedup_4shard']} at 4 "
+              f"({e19['cores']} cores, floor "
+              f"{'asserted' if e19['speedup_asserted'] else 'waived'})  "
+              f"1-shard equivalent {e19['one_shard_equivalent']}  "
+              f"deterministic {e19['deterministic_merge']}")
+        print(big)
     if r2 is not None:
         print(f"  chaos: {r2['chaos_events']} events / "
               f"{r2['faults_injected']} faults  "

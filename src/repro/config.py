@@ -204,6 +204,12 @@ class SystemConfig:
     #: service when next freed (graceful degradation).
     frame_retire_threshold: int = 3
 
+    #: Opt-in wall-clock profiling of the workload driver: wrap
+    #: :meth:`repro.workloads.WorkloadDriver.run` in :mod:`cProfile`
+    #: and attach a top-N cumulative dump to the report.  Purely a
+    #: wall-clock instrument — simulated results are identical on or
+    #: off; it exists to pick the next hot-path optimization target.
+    profiling: bool = False
     #: Enable the observability tracer (repro.obs.tracer).  Off by
     #: default: a disabled tracer costs one flag check per emitting
     #: site and zero simulated cycles.

@@ -593,9 +593,19 @@ class CPU:
         :meth:`_translate` *before* touching a counter), cost constants
         and bound methods are hoisted out of the loop, and the
         generator suspends once per cycle target instead of once per
-        instruction.  ``self.cycles`` is charged directly — never
-        cached in a local — because the SMP complex reads it mid-fault
-        for virtual-time bookkeeping.
+        instruction.
+
+        Counter updates are *batched* (the profiling hook's single
+        biggest finding): the pure-hit loop accumulates cycle, hit,
+        and instruction deltas in locals and folds them into the
+        instance counters only at a boundary — a quantum yield, any
+        classic-path excursion (translate walk, fetch miss, call,
+        linkage), a return, or an exception (the ``finally`` below).
+        No event runs and nothing reads the counters between
+        boundaries, so every *observable* value — what the SMP round
+        accounting, the mid-fault virtual clock, the meters, and the
+        snapshot see — is identical to the eager classic loop; only
+        the per-instruction attribute writes disappear.
         """
         code = ctx.code_segment(segno)
         sdw = ctx.dseg.get(segno)
@@ -632,212 +642,313 @@ class CPU:
         fkey = fetch_key(segno, ring)
 
         target = yield
-        while True:
-            limit = target if target is not None else _NO_TARGET
-            while self.cycles + self.stall_cycles < limit:
-                if executed >= max_instructions:
-                    raise ExecutionLimit(
-                        f"exceeded {max_instructions} instructions"
-                    )
-                if not 0 <= pc < n_inst:
-                    raise IllegalInstruction(
-                        f"pc {pc} outside code segment {segno}"
-                    )
-                # Instruction fetch check (same order and counters as
-                # AssociativeMemory.fetch_probe + the classic walk).
-                if entries is not None:
-                    if fkey in entries:
-                        am.hits += 1
-                        self.cycles += hit_cost
-                        self.am_hit_cycles += hit_cost
+        # Pending counter deltas (see docstring): folded into the
+        # instance counters at every boundary, never observable stale.
+        cyc = 0      # -> self.cycles
+        hits = 0     # -> am.hits
+        hitc = 0     # -> self.am_hit_cycles
+        wlkc = 0     # -> self.walk_cycles (AM-off fetch walks)
+        ninst = 0    # -> self.instructions_executed
+        base = self.cycles
+        stall = self.stall_cycles
+        try:
+            while True:
+                limit = target if target is not None else _NO_TARGET
+                while base + cyc + stall < limit:
+                    if executed >= max_instructions:
+                        raise ExecutionLimit(
+                            f"exceeded {max_instructions} instructions"
+                        )
+                    if not 0 <= pc < n_inst:
+                        raise IllegalInstruction(
+                            f"pc {pc} outside code segment {segno}"
+                        )
+                    # Instruction fetch check (same order and counters
+                    # as AssociativeMemory.fetch_probe + the classic
+                    # walk).
+                    if entries is not None:
+                        if fkey in entries:
+                            hits += 1
+                            cyc += hit_cost
+                            hitc += hit_cost
+                        else:
+                            # Boundary: run the miss at live counters.
+                            self.cycles += cyc
+                            self.walk_cycles += wlkc
+                            self.instructions_executed += ninst
+                            if hits:
+                                am.hits += hits
+                                self.am_hit_cycles += hitc
+                            cyc = hits = hitc = wlkc = ninst = 0
+                            am.misses += 1
+                            sdw = dseg.get(segno)
+                            check_access(sdw, ring, F)
+                            self.cycles += walk_cost
+                            self.walk_cycles += walk_cost
+                            am.fetch_insert(segno, ring, sdw.uid)
+                            base = self.cycles
                     else:
-                        am.misses += 1
                         sdw = dseg.get(segno)
                         check_access(sdw, ring, F)
-                        self.cycles += walk_cost
-                        self.walk_cycles += walk_cost
-                        am.fetch_insert(segno, ring, sdw.uid)
-                else:
-                    sdw = dseg.get(segno)
-                    check_access(sdw, ring, F)
-                    self.cycles += walk_cost
-                    self.walk_cycles += walk_cost
+                        cyc += walk_cost
+                        wlkc += walk_cost
 
-                op, a, b, c = decoded[pc]
-                pc += 1
-                executed += 1
-                self.instructions_executed += 1
-                self.cycles += inst_cost
+                    op, a, b, c = decoded[pc]
+                    pc += 1
+                    executed += 1
+                    ninst += 1
+                    cyc += inst_cost
 
-                if op == _PUSHI:
-                    stack.append(a)
-                elif op == _LOAD or op == _LOADI:
-                    if op == _LOAD:
-                        off = b
-                    else:
-                        if not stack:
-                            raise IllegalInstruction(
-                                "operand stack underflow"
-                            )
-                        off = stack.pop()
-                    if entries is not None and off >= 0:
-                        pg = off // page_size
-                        e = entries.get((a, pg, ring, R))
-                        if e is not None:
-                            fr, ptw, bnd = e
-                            if off < bnd and ptw.in_core and ptw.frame == fr:
-                                am.hits += 1
-                                self.cycles += hit_core
-                                self.am_hit_cycles += hit_cost
-                                ptw.used = True
-                                stack.append(
-                                    core_read(fr, off - pg * page_size)
+                    if op == _PUSHI:
+                        stack.append(a)
+                    elif op == _LOAD or op == _LOADI:
+                        if op == _LOAD:
+                            off = b
+                        else:
+                            if not stack:
+                                raise IllegalInstruction(
+                                    "operand stack underflow"
                                 )
-                                continue
-                    fr, word = translate_slow(ctx, a, off, R)
-                    self.cycles += core_cost
-                    stack.append(core_read(fr, word))
-                elif op == _STORE or op == _STOREI:
-                    if op == _STORE:
-                        off = b
+                            off = stack.pop()
+                        if entries is not None and off >= 0:
+                            pg = off // page_size
+                            e = entries.get((a, pg, ring, R))
+                            if e is not None:
+                                fr, ptw, bnd = e
+                                if (off < bnd and ptw.in_core
+                                        and ptw.frame == fr):
+                                    hits += 1
+                                    cyc += hit_core
+                                    hitc += hit_cost
+                                    ptw.used = True
+                                    stack.append(
+                                        core_read(fr, off - pg * page_size)
+                                    )
+                                    continue
+                        # Boundary: a fault inside the walk reads the
+                        # live counters for its virtual time.
+                        self.cycles += cyc
+                        self.walk_cycles += wlkc
+                        self.instructions_executed += ninst
+                        if hits:
+                            am.hits += hits
+                            self.am_hit_cycles += hitc
+                        cyc = hits = hitc = wlkc = ninst = 0
+                        fr, word = translate_slow(ctx, a, off, R)
+                        self.cycles += core_cost
+                        base = self.cycles
+                        stall = self.stall_cycles
+                        stack.append(core_read(fr, word))
+                    elif op == _STORE or op == _STOREI:
+                        if op == _STORE:
+                            off = b
+                            if not stack:
+                                raise IllegalInstruction(
+                                    "operand stack underflow"
+                                )
+                            value = stack.pop()
+                        else:
+                            if not stack:
+                                raise IllegalInstruction(
+                                    "operand stack underflow"
+                                )
+                            off = stack.pop()
+                            if not stack:
+                                raise IllegalInstruction(
+                                    "operand stack underflow"
+                                )
+                            value = stack.pop()
+                        if entries is not None and off >= 0:
+                            pg = off // page_size
+                            e = entries.get((a, pg, ring, W))
+                            if e is not None:
+                                fr, ptw, bnd = e
+                                if (off < bnd and ptw.in_core
+                                        and ptw.frame == fr):
+                                    hits += 1
+                                    cyc += hit_core
+                                    hitc += hit_cost
+                                    ptw.used = True
+                                    ptw.modified = True
+                                    core_write(
+                                        fr, off - pg * page_size, value
+                                    )
+                                    continue
+                        self.cycles += cyc
+                        self.walk_cycles += wlkc
+                        self.instructions_executed += ninst
+                        if hits:
+                            am.hits += hits
+                            self.am_hit_cycles += hitc
+                        cyc = hits = hitc = wlkc = ninst = 0
+                        fr, word = translate_slow(ctx, a, off, W)
+                        self.cycles += core_cost
+                        base = self.cycles
+                        stall = self.stall_cycles
+                        core_write(fr, word, value)
+                    elif op == _LOADF:
+                        frame = frames[-1]
+                        slots = frame.slots
+                        if 0 <= a < len(slots):
+                            stack.append(slots[a])
+                        else:
+                            self._check_slot(frame, a)
+                    elif op == _STOREF:
+                        frame = frames[-1]
+                        self._check_slot(frame, a, grow=True)
                         if not stack:
                             raise IllegalInstruction(
                                 "operand stack underflow"
                             )
-                        value = stack.pop()
-                    else:
+                        frame.slots[a] = stack.pop()
+                    elif _ADD <= op <= _GE and op != _NEG:
                         if not stack:
                             raise IllegalInstruction(
                                 "operand stack underflow"
                             )
-                        off = stack.pop()
+                        rhs = stack.pop()
                         if not stack:
                             raise IllegalInstruction(
                                 "operand stack underflow"
                             )
-                        value = stack.pop()
-                    if entries is not None and off >= 0:
-                        pg = off // page_size
-                        e = entries.get((a, pg, ring, W))
-                        if e is not None:
-                            fr, ptw, bnd = e
-                            if off < bnd and ptw.in_core and ptw.frame == fr:
-                                am.hits += 1
-                                self.cycles += hit_core
-                                self.am_hit_cycles += hit_cost
-                                ptw.used = True
-                                ptw.modified = True
-                                core_write(fr, off - pg * page_size, value)
-                                continue
-                    fr, word = translate_slow(ctx, a, off, W)
-                    self.cycles += core_cost
-                    core_write(fr, word, value)
-                elif op == _LOADF:
-                    frame = frames[-1]
-                    slots = frame.slots
-                    if 0 <= a < len(slots):
-                        stack.append(slots[a])
-                    else:
-                        self._check_slot(frame, a)
-                elif op == _STOREF:
-                    frame = frames[-1]
-                    self._check_slot(frame, a, grow=True)
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    frame.slots[a] = stack.pop()
-                elif _ADD <= op <= _GE and op != _NEG:
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    rhs = stack.pop()
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    lhs = stack.pop()
-                    if op == _ADD:
-                        stack.append(lhs + rhs)
-                    elif op == _SUB:
-                        stack.append(lhs - rhs)
-                    elif op == _MUL:
-                        stack.append(lhs * rhs)
-                    elif op == _EQ:
-                        stack.append(int(lhs == rhs))
-                    elif op == _NE:
-                        stack.append(int(lhs != rhs))
-                    elif op == _LT:
-                        stack.append(int(lhs < rhs))
-                    elif op == _LE:
-                        stack.append(int(lhs <= rhs))
-                    elif op == _GT:
-                        stack.append(int(lhs > rhs))
-                    elif op == _GE:
-                        stack.append(int(lhs >= rhs))
-                    elif op == _DIV:
-                        stack.append(_div(lhs, rhs))
-                    else:
-                        stack.append(_mod(lhs, rhs))
-                elif op == _JMP:
-                    pc = a
-                elif op == _JZ:
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    if stack.pop() == 0:
+                        lhs = stack.pop()
+                        if op == _ADD:
+                            stack.append(lhs + rhs)
+                        elif op == _SUB:
+                            stack.append(lhs - rhs)
+                        elif op == _MUL:
+                            stack.append(lhs * rhs)
+                        elif op == _EQ:
+                            stack.append(int(lhs == rhs))
+                        elif op == _NE:
+                            stack.append(int(lhs != rhs))
+                        elif op == _LT:
+                            stack.append(int(lhs < rhs))
+                        elif op == _LE:
+                            stack.append(int(lhs <= rhs))
+                        elif op == _GT:
+                            stack.append(int(lhs > rhs))
+                        elif op == _GE:
+                            stack.append(int(lhs >= rhs))
+                        elif op == _DIV:
+                            stack.append(_div(lhs, rhs))
+                        else:
+                            stack.append(_mod(lhs, rhs))
+                    elif op == _JMP:
                         pc = a
-                elif op == _JNZ:
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    if stack.pop() != 0:
-                        pc = a
-                elif op == _NEG:
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    stack.append(-stack.pop())
-                elif op == _NOT:
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    stack.append(0 if stack.pop() else 1)
-                elif op == _DUP:
-                    stack.append(stack[-1])
-                elif op == _POP:
-                    if not stack:
-                        raise IllegalInstruction("operand stack underflow")
-                    stack.pop()
-                elif op == _SWAP:
-                    stack[-1], stack[-2] = stack[-2], stack[-1]
-                elif op == _CALL:
-                    segno, code, pc = self._do_call(
-                        ctx, frames, stack, segno, pc, a, b, c,
-                    )
-                    ring = ctx.ring
-                    decoded = _decoded_for(code)
-                    n_inst = len(decoded)
-                    fkey = fetch_key(segno, ring)
-                elif op == _CALLL:
-                    tgt = self._resolve_link(ctx, a)
-                    segno, code, pc = self._do_call(
-                        ctx, frames, stack, segno, pc, tgt[0], tgt[1], b,
-                    )
-                    ring = ctx.ring
-                    decoded = _decoded_for(code)
-                    n_inst = len(decoded)
-                    fkey = fetch_key(segno, ring)
-                elif op == _RET:
-                    result = stack.pop() if stack else 0
-                    frame = frames.pop()
-                    ctx.ring = frame.return_ring
-                    ring = frame.return_ring
-                    if not frames:
-                        return result
-                    stack.append(result)
-                    segno = frame.return_segno
-                    code = ctx.code_segment(segno)
-                    pc = frame.return_pc
-                    decoded = _decoded_for(code)
-                    n_inst = len(decoded)
-                    fkey = fetch_key(segno, ring)
-                elif op == _HALT:
-                    return stack[-1] if stack else 0
-                else:  # pragma: no cover - enum is closed
-                    raise IllegalInstruction(f"cannot execute opcode {op}")
-            target = yield
+                    elif op == _JZ:
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        if stack.pop() == 0:
+                            pc = a
+                    elif op == _JNZ:
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        if stack.pop() != 0:
+                            pc = a
+                    elif op == _NEG:
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        stack.append(-stack.pop())
+                    elif op == _NOT:
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        stack.append(0 if stack.pop() else 1)
+                    elif op == _DUP:
+                        stack.append(stack[-1])
+                    elif op == _POP:
+                        if not stack:
+                            raise IllegalInstruction(
+                                "operand stack underflow"
+                            )
+                        stack.pop()
+                    elif op == _SWAP:
+                        stack[-1], stack[-2] = stack[-2], stack[-1]
+                    elif op == _CALL:
+                        # Boundary: call_cost reads the live counters.
+                        self.cycles += cyc
+                        self.walk_cycles += wlkc
+                        self.instructions_executed += ninst
+                        if hits:
+                            am.hits += hits
+                            self.am_hit_cycles += hitc
+                        cyc = hits = hitc = wlkc = ninst = 0
+                        segno, code, pc = self._do_call(
+                            ctx, frames, stack, segno, pc, a, b, c,
+                        )
+                        base = self.cycles
+                        stall = self.stall_cycles
+                        ring = ctx.ring
+                        decoded = _decoded_for(code)
+                        n_inst = len(decoded)
+                        fkey = fetch_key(segno, ring)
+                    elif op == _CALLL:
+                        self.cycles += cyc
+                        self.walk_cycles += wlkc
+                        self.instructions_executed += ninst
+                        if hits:
+                            am.hits += hits
+                            self.am_hit_cycles += hitc
+                        cyc = hits = hitc = wlkc = ninst = 0
+                        tgt = self._resolve_link(ctx, a)
+                        segno, code, pc = self._do_call(
+                            ctx, frames, stack, segno, pc, tgt[0], tgt[1], b,
+                        )
+                        base = self.cycles
+                        stall = self.stall_cycles
+                        ring = ctx.ring
+                        decoded = _decoded_for(code)
+                        n_inst = len(decoded)
+                        fkey = fetch_key(segno, ring)
+                    elif op == _RET:
+                        result = stack.pop() if stack else 0
+                        frame = frames.pop()
+                        ctx.ring = frame.return_ring
+                        ring = frame.return_ring
+                        if not frames:
+                            return result
+                        stack.append(result)
+                        segno = frame.return_segno
+                        code = ctx.code_segment(segno)
+                        pc = frame.return_pc
+                        decoded = _decoded_for(code)
+                        n_inst = len(decoded)
+                        fkey = fetch_key(segno, ring)
+                    elif op == _HALT:
+                        return stack[-1] if stack else 0
+                    else:  # pragma: no cover - enum is closed
+                        raise IllegalInstruction(
+                            f"cannot execute opcode {op}"
+                        )
+                # Quantum boundary: fold the pending deltas so the SMP
+                # round accounting sees exact values while suspended.
+                self.cycles += cyc
+                self.walk_cycles += wlkc
+                self.instructions_executed += ninst
+                if hits:
+                    am.hits += hits
+                    self.am_hit_cycles += hitc
+                cyc = hits = hitc = wlkc = ninst = 0
+                target = yield
+                base = self.cycles
+                stall = self.stall_cycles
+        finally:
+            # Returns and contained faults exit through here: fold
+            # whatever is pending so job accounting stays exact.
+            self.cycles += cyc
+            self.walk_cycles += wlkc
+            self.instructions_executed += ninst
+            if hits:
+                am.hits += hits
+                self.am_hit_cycles += hitc
 
     # -- helpers -----------------------------------------------------------
 

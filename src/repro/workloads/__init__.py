@@ -8,6 +8,11 @@ runs its interactive bursts through the SMP complex in batches.  The
 driver reports admitted users/sec and p50/p95 interactive latency in
 simulated cycles, and registers ``workload.*`` metrics in the
 ``repro.obs/v1`` snapshot.  Bench E18 runs this at 1k and 10k users.
+
+Past one process's ceiling, :func:`run_sharded` partitions the
+population by user UID across N OS-process shards — independent seeded
+systems whose reports, snapshots, and audit summaries merge
+deterministically (bench E19 runs this up to 100k users).
 """
 
 from repro.workloads.arrivals import bursty_arrivals, poisson_arrivals
@@ -18,15 +23,29 @@ from repro.workloads.driver import (
     generate_population,
 )
 from repro.workloads.profiles import DEFAULT_MIX, PROFILES, Profile
+from repro.workloads.sharded import (
+    ShardedReport,
+    ShardResult,
+    ShardSpec,
+    assign_shard,
+    partition_population,
+    run_sharded,
+)
 
 __all__ = [
     "DEFAULT_MIX",
     "PROFILES",
     "Profile",
+    "ShardSpec",
+    "ShardResult",
+    "ShardedReport",
     "UserSpec",
     "WorkloadDriver",
     "WorkloadReport",
+    "assign_shard",
     "bursty_arrivals",
     "generate_population",
+    "partition_population",
     "poisson_arrivals",
+    "run_sharded",
 ]

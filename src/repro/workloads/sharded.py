@@ -1,0 +1,280 @@
+"""Shard-parallel workload execution with a deterministic merge.
+
+One Python process pins the 10k-user engine (E18) to one core.  This
+module partitions a seeded population by user UID across N *shards* —
+each an independent, deterministically seeded
+:class:`~repro.system.MulticsSystem` + :class:`WorkloadDriver` running
+in its own OS process under a spawn-context
+:class:`multiprocessing.pool.Pool` — and folds the per-shard results
+back into one global report.  The design follows MultiK's "many kernel
+instances over a shared substrate" scaling unit: shards share nothing
+at runtime, so the reference-monitor guarantees hold per shard and the
+merge is pure bookkeeping.
+
+Determinism contract (bench E19 asserts all three):
+
+* same seed + same shard count → byte-identical merged documents
+  (``canonical_json``), independent of worker scheduling order;
+* 1 shard in-process equals the unsharded ``WorkloadDriver`` exactly —
+  same report numbers, same snapshot;
+* the serial fallback (``multiprocessing`` unavailable or refused)
+  produces the same bytes as the process pool, just slower.
+
+Wall-clock numbers (the only nondeterministic outputs) ride beside the
+deterministic documents, never inside them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.workloads.driver import UserSpec, WorkloadReport
+from repro.workloads.shards.merge import (
+    MergeMetrics,
+    merge_audits,
+    merge_reports,
+    merge_snapshots,
+)
+from repro.workloads.shards.spec import (
+    ShardResult,
+    ShardSpec,
+    assign_shard,
+    partition_population,
+)
+from repro.workloads.shards.worker import run_shard
+
+__all__ = [
+    "ShardedReport",
+    "ShardResult",
+    "ShardSpec",
+    "assign_shard",
+    "partition_population",
+    "run_sharded",
+]
+
+#: Execution modes: ``auto`` tries the process pool and falls back to
+#: serial; the other two force one path (``processes`` raises if the
+#: pool cannot be built).
+MODES = ("auto", "processes", "serial")
+
+
+@dataclass
+class ShardedReport:
+    """The merged view of one sharded run.
+
+    Deterministic content (report numbers, merged snapshot, audit
+    totals) lives in :meth:`canonical_dict`; wall-clock throughput
+    lives beside it in :meth:`to_dict`.
+    """
+
+    n_shards: int
+    #: "processes" or "serial" — how the shards actually ran.  Not part
+    #: of the canonical document: both modes produce the same bytes.
+    mode: str
+    report: WorkloadReport
+    snapshot: dict = field(default_factory=dict)
+    audit: dict = field(default_factory=dict)
+    shards: list[ShardResult] = field(default_factory=list, repr=False)
+    wall_seconds: float = 0.0
+
+    @property
+    def users_per_sec(self) -> float:
+        if not self.wall_seconds:
+            return 0.0
+        return self.report.admitted / self.wall_seconds
+
+    def canonical_dict(self) -> dict:
+        """Everything deterministic: byte-identical across same-seed,
+        same-shard-count runs regardless of mode or scheduling."""
+        report = self.report.to_dict()
+        for wall_key in ("wall_seconds", "users_per_sec", "cycles_per_sec"):
+            report.pop(wall_key, None)
+        return {
+            "n_shards": self.n_shards,
+            "report": report,
+            "snapshot": self.snapshot,
+            "audit": self.audit,
+            "shard_clocks": [
+                {"shard_id": s.shard_id, "end_clock": s.report.end_clock}
+                for s in self.shards
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True)
+
+    def to_dict(self) -> dict:
+        return {
+            **self.canonical_dict(),
+            "mode": self.mode,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "users_per_sec": round(self.users_per_sec, 2),
+            "shard_walls": [
+                round(s.wall_seconds, 4)
+                for s in sorted(self.shards, key=lambda s: s.shard_id)
+            ],
+        }
+
+
+def _run_serial(specs: list[ShardSpec]) -> list[ShardResult]:
+    return [run_shard(spec) for spec in specs]
+
+
+def _spawn_safe_main() -> bool:
+    """Whether spawn can re-import the caller's ``__main__``.
+
+    ``spawn`` replays the parent's main module in every worker.  When
+    the program came from stdin or a process substitution
+    (``__main__.__file__`` is ``<stdin>`` or otherwise gone from disk),
+    that replay dies with FileNotFoundError — and ``Pool`` respawns the
+    crashing worker forever instead of failing the map, so the hang
+    must be refused *before* the pool is built.
+    """
+    import sys
+
+    main = sys.modules.get("__main__")
+    main_file = getattr(main, "__file__", None)
+    return main_file is None or os.path.exists(main_file)
+
+
+def _in_spawn_bootstrap() -> bool:
+    """Whether this process is a spawn worker replaying its parent's
+    ``__main__`` (a consumer script that calls :func:`run_sharded` at
+    top level without an ``if __name__ == "__main__"`` guard)."""
+    from multiprocessing import process
+
+    return bool(getattr(process.current_process(), "_inheriting", False))
+
+
+def _run_processes(specs: list[ShardSpec]) -> list[ShardResult]:
+    import concurrent.futures
+    import multiprocessing
+
+    if not _spawn_safe_main():
+        raise RuntimeError(
+            "__main__ is not re-importable (stdin/REPL script?): "
+            "spawned shard workers would crash-loop"
+        )
+    ctx = multiprocessing.get_context("spawn")
+    workers = min(len(specs), os.cpu_count() or 1)
+    # ProcessPoolExecutor, not multiprocessing.Pool: when a worker dies
+    # during spawn bootstrap (unguarded consumer __main__), Pool
+    # respawns it forever and the map never returns; the executor marks
+    # the pool broken and raises, which auto mode turns into the serial
+    # fallback.
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=ctx
+    ) as pool:
+        # map yields results in spec order == shard_id order, so
+        # completion order never leaks into the merge.
+        return list(pool.map(run_shard, specs))
+
+
+def run_sharded(
+    n_users: int,
+    n_shards: int,
+    seed: int,
+    config: SystemConfig | None = None,
+    *,
+    mode: str = "auto",
+    mix: dict[str, float] | None = None,
+    process: str = "poisson",
+    mean_gap: float = 400.0,
+    burst_size: int = 32,
+    mean_lull: float = 20_000.0,
+    project: str = "Load",
+    n_cpus: int | None = None,
+    batch_size: int = 64,
+    quantum: int | None = None,
+    max_instructions: int = 1_000_000,
+    population: list[UserSpec] | None = None,
+) -> ShardedReport:
+    """Run ``n_users`` across ``n_shards`` worker systems and merge.
+
+    Each shard regenerates the full seeded population locally and keeps
+    its UID slice, so specs pickle small at any population size.  Pass
+    ``population`` to pre-partition an explicit list instead (its
+    ``n_users``/``seed`` params still seed nothing but are recorded).
+    ``config`` defaults to :func:`repro.kernel_config`.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    if config is None:
+        from repro import kernel_config
+
+        config = kernel_config()
+    slices: list[tuple[UserSpec, ...] | None]
+    if population is not None:
+        slices = [
+            tuple(part) for part in partition_population(population, n_shards)
+        ]
+        n_users = len(population)
+    else:
+        slices = [None] * n_shards
+    specs = [
+        ShardSpec(
+            shard_id=shard_id,
+            n_shards=n_shards,
+            seed=seed,
+            n_users=n_users,
+            config=config,
+            mix=mix,
+            process=process,
+            mean_gap=mean_gap,
+            burst_size=burst_size,
+            mean_lull=mean_lull,
+            project=project,
+            n_cpus=n_cpus,
+            batch_size=batch_size,
+            quantum=quantum,
+            max_instructions=max_instructions,
+            users=slices[shard_id],
+        )
+        for shard_id in range(n_shards)
+    ]
+    metrics = MergeMetrics()
+    metrics.shards = n_shards
+    metrics.users = n_users
+    wall0 = time.perf_counter()
+    if mode == "serial" or (mode == "auto" and n_shards == 1):
+        results = _run_serial(specs)
+        used = "serial"
+    elif mode == "processes":
+        results = _run_processes(specs)
+        used = "processes"
+    else:
+        try:
+            results = _run_processes(specs)
+            used = "processes"
+        except Exception:
+            if _in_spawn_bootstrap():
+                # We ARE a spawn worker replaying an unguarded consumer
+                # script: falling back serial here would re-run that
+                # whole script inside every worker.  Die loudly instead
+                # (the parent's executor reports a broken pool and takes
+                # this same fallback, once, in the right process).
+                raise
+            # No usable multiprocessing here (restricted sandbox, no
+            # /dev/shm, missing spawn support): same results, one
+            # process — the purity of run_shard guarantees the bytes.
+            metrics.spawn_failures += 1
+            results = _run_serial(specs)
+            used = "serial"
+    wall = time.perf_counter() - wall0
+    merged = merge_reports(results)
+    merged.wall_seconds = wall
+    return ShardedReport(
+        n_shards=n_shards,
+        mode=used,
+        report=merged,
+        snapshot=merge_snapshots(results, metrics),
+        audit=merge_audits(results),
+        shards=sorted(results, key=lambda r: r.shard_id),
+        wall_seconds=wall,
+    )

@@ -1,0 +1,41 @@
+"""Shard runner plumbing for :mod:`repro.workloads.sharded`.
+
+Three pieces, split so every one of them is importable from a spawned
+worker process without dragging the orchestration layer along:
+
+* :mod:`~repro.workloads.shards.spec` — the picklable wire format
+  (:class:`ShardSpec` in, :class:`ShardResult` out) plus the stable
+  user-UID partition function;
+* :mod:`~repro.workloads.shards.worker` — the module-level worker entry
+  point a spawn-context :class:`multiprocessing.pool.Pool` can import
+  by name (never a closure, never ``__main__``);
+* :mod:`~repro.workloads.shards.merge` — deterministic folds of
+  per-shard reports, ``repro.obs/v1`` snapshots, and audit summaries.
+"""
+
+from repro.workloads.shards.merge import (
+    MergeMetrics,
+    merge_audits,
+    merge_reports,
+    merge_snapshots,
+)
+from repro.workloads.shards.spec import (
+    ShardResult,
+    ShardSpec,
+    assign_shard,
+    partition_population,
+)
+from repro.workloads.shards.worker import materialize_population, run_shard
+
+__all__ = [
+    "MergeMetrics",
+    "ShardResult",
+    "ShardSpec",
+    "assign_shard",
+    "materialize_population",
+    "merge_audits",
+    "merge_reports",
+    "merge_snapshots",
+    "partition_population",
+    "run_shard",
+]

@@ -14,6 +14,7 @@ from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs import NAME_RE
 from repro.system import MulticsSystem
 from repro.workloads import WorkloadDriver
+from repro.workloads.shards import MergeMetrics
 
 DESIGN = pathlib.Path(__file__).resolve().parent.parent / "DESIGN.md"
 
@@ -64,6 +65,9 @@ def registered_names() -> set[str]:
         if config.supervisor is not SupervisorKind.LEGACY:
             WorkloadDriver(system)  # workload.* names register per-driver
         names.update(system.metrics.names())
+    # shard.* names live on the sharded merge layer's own registry, not
+    # on any single booted system.
+    names.update(MergeMetrics().registry.names())
     return names
 
 

@@ -44,7 +44,48 @@ def test_default_name_derives_from_default_pr(rb, sandbox):
 
 
 def test_current_default_pr_tag(rb):
-    assert rb.DEFAULT_PR == "pr7"
+    assert rb.DEFAULT_PR == "pr8"
+
+
+def test_list_prints_known_ids_and_exits(rb, capsys):
+    assert rb.main(["run_benches", "--list"]) == 0
+    assert capsys.readouterr().out.split() == list(rb.BENCH_IDS)
+
+
+def _scaled_bench_stubs(rb, monkeypatch, seen):
+    """Replace the two scale-aware benches with quick-recording stubs."""
+
+    def fake_e18(quick=False):
+        seen["E18"] = quick
+        return {
+            "users_1k": 1, "equivalent": True, "wall_speedup_1k": 1.0,
+            "users_per_sec_1k": 1.0, "cycles_per_sec_1k": 1.0,
+        }, rb._boot_snapshot()
+
+    def fake_e19(quick=False):
+        seen["E19"] = quick
+        return {
+            "cores": 1, "speedup_2shard": 1.0, "speedup_4shard": 1.0,
+            "speedup_asserted": False, "one_shard_equivalent": True,
+            "deterministic_merge": True,
+        }, rb._boot_snapshot()
+
+    monkeypatch.setattr(rb, "workload_bench_numbers", fake_e18)
+    monkeypatch.setattr(rb, "sharded_bench_numbers", fake_e19)
+
+
+def test_quick_flag_reaches_the_scaled_benches(rb, sandbox, monkeypatch):
+    seen = {}
+    _scaled_bench_stubs(rb, monkeypatch, seen)
+    assert rb.main(["run_benches", "--only", "E18,E19", "--quick"]) == 0
+    assert seen == {"E18": True, "E19": True}
+
+
+def test_without_quick_the_full_legs_run(rb, sandbox, monkeypatch):
+    seen = {}
+    _scaled_bench_stubs(rb, monkeypatch, seen)
+    assert rb.main(["run_benches", "--only", "E18,E19"]) == 0
+    assert seen == {"E18": False, "E19": False}
 
 
 def test_pr_flag_overrides_default(rb, sandbox):

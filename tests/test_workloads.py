@@ -67,6 +67,50 @@ class TestArrivals:
         assert poisson_arrivals(0, 100.0, seed=1) == []
         assert bursty_arrivals(0, 8, 100.0, seed=1) == []
 
+    def test_zero_rate_poisson_rejected(self):
+        # A zero (or negative) rate would never produce an arrival;
+        # both are configuration errors, not infinite loops.
+        with pytest.raises(ValueError, match="mean_gap"):
+            poisson_arrivals(5, 0.0, seed=1)
+        with pytest.raises(ValueError, match="mean_gap"):
+            poisson_arrivals(5, -100.0, seed=1)
+
+    def test_single_user_population(self):
+        assert len(poisson_arrivals(1, 400.0, seed=3)) == 1
+        assert len(bursty_arrivals(1, 32, 20_000.0, seed=3)) == 1
+        pop = generate_population(1, seed=11)
+        assert len(pop) == 1
+        assert pop[0].person == "U00000"
+
+    def test_partial_final_burst_respects_n(self):
+        # 20 users in bursts of 8: the last burst holds only 4 and
+        # still clusters within the jitter window.
+        times = bursty_arrivals(20, 8, 50_000.0, seed=4)
+        assert len(times) == 20
+        assert times == sorted(times)
+        last = times[16:]
+        assert last[-1] - last[0] <= 8
+
+    def test_burst_size_larger_than_population(self):
+        times = bursty_arrivals(5, 100, 1_000.0, seed=2)
+        assert len(times) == 5
+        assert times[-1] - times[0] <= 8
+
+    def test_zero_jitter_bursts_are_simultaneous(self):
+        times = bursty_arrivals(16, 8, 50_000.0, seed=6, jitter=0)
+        assert len(set(times[:8])) == 1
+        assert len(set(times[8:])) == 1
+
+    def test_start_offset_shifts_arrivals(self):
+        # Same seed, shifted origin: the shape is seed-stable and the
+        # offset lands verbatim in every arrival time.
+        base = poisson_arrivals(50, 200.0, seed=8)
+        moved = poisson_arrivals(50, 200.0, seed=8, start=5000)
+        assert moved == [t + 5000 for t in base]
+        base = bursty_arrivals(24, 8, 10_000.0, seed=8)
+        moved = bursty_arrivals(24, 8, 10_000.0, seed=8, start=5000)
+        assert moved == [t + 5000 for t in base]
+
 
 class TestPopulation:
     def test_same_seed_same_population(self):
@@ -125,12 +169,22 @@ class TestWorkloadReport:
         report.wall_seconds = 2.0
         assert report.users_per_sec == 2.5
 
+    def test_percentile_clamps_out_of_range_quantiles(self):
+        report = WorkloadReport()
+        report.latencies = [10, 20, 30]
+        assert report.latency_percentile(-0.5) == 10
+        assert report.latency_percentile(1.5) == 30
+        assert WorkloadReport().latency_percentile(-1.0) == 0
+
     def test_to_dict_names_the_bench_fields(self):
-        keys = set(WorkloadReport().to_dict())
-        assert {"users", "admitted", "login_failures", "jobs_completed",
+        keys = {"users", "admitted", "login_failures", "jobs_completed",
                 "jobs_failed", "elapsed_cycles", "wall_seconds",
                 "users_per_sec", "cycles_per_sec", "p50_latency_cycles",
-                "p95_latency_cycles"} == keys
+                "p95_latency_cycles"}
+        assert set(WorkloadReport().to_dict()) == keys
+        # The cProfile dump only appears when a profiled run filled it.
+        profiled = WorkloadReport(profile="ncalls tottime ...")
+        assert set(profiled.to_dict()) == keys | {"profile"}
 
 
 def drive(n=N_SMOKE, seed=1975, **config):
@@ -195,6 +249,20 @@ class TestWorkloadDriver:
                 report.latencies,
             ))
         assert outcomes[0] == outcomes[1]
+
+    def test_profiling_hook_attaches_dump(self):
+        """SystemConfig.profiling wraps the run in cProfile and hangs
+        the top-N dump on the report — without touching any simulated
+        result (same clock as the unprofiled run)."""
+        system, _, report = drive(profiling=True)
+        assert report.profile
+        assert "cumulative" in report.profile
+        assert "profile" in report.to_dict()
+        plain_system, _, plain = drive()
+        assert plain.profile == ""
+        assert "profile" not in plain.to_dict()
+        assert system.clock.now == plain_system.clock.now
+        assert report.latencies == plain.latencies
 
     def test_legacy_supervisor_rejected(self):
         system = MulticsSystem(legacy_config()).boot()
