@@ -15,7 +15,9 @@ the existing counter/gauge tables, no version bump.  Chrome trace-event
 documents (top-level ``traceEvents``, written by
 ``scripts/export_trace.py``) also live in the results directory; they
 follow a different contract and are checked with that script's
-validator instead.
+validator instead.  Standalone timeline documents (schema
+``repro.timeline/v1``, exported by the interval sampler) are checked
+with :func:`repro.obs.validate_timeline`.
 
 No result files is not an error: a fresh checkout has not run the
 benches yet.  Usage::
@@ -34,7 +36,7 @@ sys.path.insert(
 )
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from repro.obs import validate_snapshot  # noqa: E402
+from repro.obs import validate_snapshot, validate_timeline  # noqa: E402
 
 
 def check_file(path: pathlib.Path) -> list[str]:
@@ -47,6 +49,10 @@ def check_file(path: pathlib.Path) -> list[str]:
         from export_trace import validate as validate_trace
 
         return validate_trace(path)
+    if isinstance(doc, dict) and doc.get("schema") == "repro.timeline/v1":
+        # Standalone timeline documents (sampler exports) carry their
+        # own schema tag and validator.
+        return validate_timeline(doc)
     # validate_snapshot knows the optional ``bench`` section of derived
     # numbers, so the merged document is checked as a whole.
     return validate_snapshot(doc)

@@ -7,14 +7,21 @@ writes ``Tracer.to_chrome_trace()``'s document — load it in Perfetto
 page-fault services, ring crossings, interrupts, and retries laid out
 on one lane per simulated process.
 
+``--counters`` runs the same storm with the interval timeline enabled
+and folds its series into the document as Perfetto counter tracks
+("C" events — one graph per metric series) plus instant markers for
+SLO breaches, so the run's time-resolved telemetry renders above the
+span lanes.
+
 ``--validate [file]`` instead round-trips a trace file through
 ``json.loads`` and checks the trace-event contract every consumer
 relies on: a ``traceEvents`` list whose entries carry ``name``, ``ph``,
-``ts``, ``pid``, ``tid`` (and ``dur`` for complete "X" events).
+``ts``, ``pid``, ``tid`` (and ``dur`` for complete "X" events; a ``ts``
+for counter "C" and instant "i" events).
 
 Usage::
 
-    python scripts/export_trace.py [output.json]
+    python scripts/export_trace.py [--counters] [output.json]
     python scripts/export_trace.py --validate [trace.json]
 """
 
@@ -30,12 +37,20 @@ sys.path.insert(0, str(_ROOT / "src"))
 _DEFAULT_OUT = _ROOT / "benchmarks" / "results" / "trace_e5.json"
 
 #: Keys every trace event must carry; complete "X" events additionally
-#: need ts and dur (metadata "M" events carry no timestamp).
+#: need ts and dur, counter "C" and instant "i" events need ts
+#: (metadata "M" events carry no timestamp).
 REQUIRED_KEYS = ("name", "ph", "pid", "tid")
 
 
-def traced_storm() -> dict:
-    """Run a small traced storm on a booted system; return the trace."""
+def traced_storm(counters: bool = False) -> dict:
+    """Run a small traced storm on a booted system; return the trace.
+
+    With ``counters`` the system also runs the interval timeline
+    sampler (polled between scheduler quanta via the simulator run
+    loop's natural clock advances — here, one forced flush at the end
+    plus interval polls during the storm), and the trace document
+    carries its series as counter tracks.
+    """
     from repro.config import SystemConfig
     from repro.proc.ipc import Charge
     from repro.proc.process import Process
@@ -45,6 +60,7 @@ def traced_storm() -> dict:
         page_size=16, core_frames=8, bulk_frames=12, disk_frames=512,
         n_processors=2, n_virtual_processors=16, quantum=5000,
         tracing=True,
+        timeline={"interval": 2000} if counters else None,
     )
     config.validate()
     system = MulticsSystem(config).boot()
@@ -60,11 +76,17 @@ def traced_storm() -> dict:
             for page in range(12):
                 yield from pc.touch(proc, aseg, page)
                 yield Charge(40)
+                if system.timeline is not None:
+                    system.timeline.poll()
 
     for i in range(4):
         system.add_process(Process(f"w{i}", body=worker, ring=4))
     system.run()
-    return system.tracer.to_chrome_trace()
+    timeline = None
+    if system.timeline is not None:
+        system.timeline.poll(force=True)
+        timeline = system.timeline_document()
+    return system.tracer.to_chrome_trace(timeline=timeline)
 
 
 def validate(path: pathlib.Path) -> list[str]:
@@ -85,6 +107,8 @@ def validate(path: pathlib.Path) -> list[str]:
         missing = [k for k in REQUIRED_KEYS if k not in event]
         if event.get("ph") == "X":
             missing += [k for k in ("ts", "dur") if k not in event]
+        elif event.get("ph") in ("C", "i"):
+            missing += [k for k in ("ts",) if k not in event]
         if missing:
             errors.append(f"event {i}: missing {missing}")
     if not any(e.get("ph") == "X" for e in doc["traceEvents"]
@@ -104,15 +128,25 @@ def main(argv: list[str]) -> int:
         print(f"export_trace: {path} is a valid chrome trace")
         return 0
 
-    out_path = pathlib.Path(argv[1]) if len(argv) > 1 else _DEFAULT_OUT
-    doc = traced_storm()
+    args = list(argv[1:])
+    counters = "--counters" in args
+    if counters:
+        args.remove("--counters")
+    unknown = [a for a in args if a.startswith("-")]
+    if unknown or len(args) > 1:
+        print(__doc__.split("Usage::", 1)[1].strip(), file=sys.stderr)
+        return 2
+    out_path = pathlib.Path(args[0]) if args else _DEFAULT_OUT
+    doc = traced_storm(counters=counters)
     out_path.parent.mkdir(exist_ok=True)
     out_path.write_text(json.dumps(doc, indent=1) + "\n")
     n_spans = sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+    n_counters = sum(1 for e in doc["traceEvents"] if e["ph"] == "C")
     n_lanes = sum(1 for e in doc["traceEvents"]
                   if e["ph"] == "M" and e["name"] == "thread_name")
+    extra = f", {n_counters} counter points" if counters else ""
     print(f"export_trace: wrote {out_path} "
-          f"({n_spans} events on {n_lanes} lanes)")
+          f"({n_spans} events on {n_lanes} lanes{extra})")
     return 0
 
 

@@ -224,6 +224,12 @@ class SystemConfig:
     audit_level: str = "all"
     #: Ring-buffer capacity of the audit trail, in records.
     audit_capacity: int = 4096
+    #: Optional interval timeline sampler + SLO health monitor
+    #: (repro.obs.timeline.validate_timeline_config describes the
+    #: shape: interval, capacity, rules).  None — the default — builds
+    #: neither; like the tracer, sampling costs zero simulated cycles
+    #: when enabled (bench E20 asserts the identity).
+    timeline: dict | None = None
 
     costs: CostModel = field(default_factory=CostModel)
 
@@ -277,3 +283,7 @@ class SystemConfig:
             from repro.io.topology import validate_spec
 
             validate_spec(self.topology)
+        if self.timeline is not None:
+            from repro.obs.timeline import validate_timeline_config
+
+            validate_timeline_config(self.timeline)

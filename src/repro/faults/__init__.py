@@ -31,6 +31,8 @@ be asserted under fire, not just on the happy path:
 from repro.faults.chaos import (
     CPU_LOSS_KIND,
     CPU_LOSS_SITE,
+    CPU_RESTORE_KIND,
+    CPU_RESTORE_SITE,
     ChaosEngine,
     ChaosScenario,
     RandomController,
@@ -70,4 +72,6 @@ __all__ = [
     "TargetedController",
     "CPU_LOSS_SITE",
     "CPU_LOSS_KIND",
+    "CPU_RESTORE_SITE",
+    "CPU_RESTORE_KIND",
 ]

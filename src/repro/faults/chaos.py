@@ -29,7 +29,13 @@ Sites a scenario can command:
 * ``cpu.loss`` with kind ``offline`` — removes a CPU from the SMP
   complex mid-run; the interrupted job is requeued from its entry
   point (lost time, never lost or corrupted data) and the removal is
-  booked as equipment degradation.
+  booked as equipment degradation;
+* ``cpu.restore`` with kind ``online`` — returns an offline CPU to
+  service (cold AM), closing the degradation window a prior
+  ``cpu.loss`` opened.  Restoring is recovery, not a fault: it is
+  booked through :meth:`FaultInjector.note_recovered`, never
+  :meth:`FaultInjector.force`, so injected-fault counts stay equal to
+  commanded faults (the R2 audit-completeness invariant).
 
 The engine is *polled*: call :meth:`ChaosEngine.step` between lockstep
 rounds (``SmpComplex.run(on_round=...)`` does this) or workload
@@ -54,6 +60,10 @@ if TYPE_CHECKING:  # pragma: no cover
 CPU_LOSS_SITE = "cpu.loss"
 #: The only kind ``cpu.loss`` understands.
 CPU_LOSS_KIND = "offline"
+#: The site returning an offline CPU to service.
+CPU_RESTORE_SITE = "cpu.restore"
+#: The only kind ``cpu.restore`` understands.
+CPU_RESTORE_KIND = "online"
 
 _CONTROLLER_TYPES = ("timed", "random", "targeted")
 
@@ -74,10 +84,16 @@ def _check_site_kind(site: object, kind: object, where: str) -> None:
                 f"{where}: {CPU_LOSS_SITE} only understands "
                 f"{CPU_LOSS_KIND!r}, got {kind!r}"
             )
+    elif site == CPU_RESTORE_SITE:
+        if kind != CPU_RESTORE_KIND:
+            raise ValueError(
+                f"{where}: {CPU_RESTORE_SITE} only understands "
+                f"{CPU_RESTORE_KIND!r}, got {kind!r}"
+            )
     else:
         raise ValueError(
             f"{where}: unknown chaos site {site!r} "
-            "(want link.<name> or cpu.loss)"
+            "(want link.<name>, cpu.loss, or cpu.restore)"
         )
 
 
@@ -298,6 +314,9 @@ class ChaosEngine:
         if site == CPU_LOSS_SITE:
             self._lose_cpu(now, cpu)
             return
+        if site == CPU_RESTORE_SITE:
+            self._restore_cpu(now, cpu)
+            return
         link = self.topology.links.get(site[len("link."):])
         if link is None:
             raise ValueError(f"scenario names unknown link site {site!r}")
@@ -337,6 +356,29 @@ class ChaosEngine:
                 detail=f"cpu {index}: {requeued.label or requeued.segno}",
             )
         self._book(now, CPU_LOSS_SITE, CPU_LOSS_KIND)
+
+    def _restore_cpu(self, now: int, cpu: int | None) -> None:
+        cx = self.complex_
+        if cx is None:
+            raise ValueError(
+                "scenario commands cpu.restore but no SMP complex is wired"
+            )
+        if cpu is not None:
+            index = cpu
+        else:
+            index = next(
+                (i for i in range(cx.n_cpus) if not cx.online(i)), -1
+            )
+        if index < 0 or cx.online(index):
+            self.skipped.append((now, CPU_RESTORE_SITE, CPU_RESTORE_KIND,
+                                 f"cpu {index} not restorable"))
+            return
+        cx.restore_cpu(index)
+        # Recovery, not a fault: booked as such so injected == commanded
+        # faults stays true for the audit-completeness invariant.
+        self.injector.note_recovered(CPU_RESTORE_SITE, "cpu_online",
+                                     detail=f"cpu {index}")
+        self._book(now, CPU_RESTORE_SITE, CPU_RESTORE_KIND)
 
     def _book(self, now: int, site: str, kind: str) -> None:
         self.applied.append((now, site, kind))

@@ -44,6 +44,9 @@ every run **bit-for-bit reproducible**:
   frames per call, so a restart is clean), the offline CPU is skipped
   by dispatch, and the complex runs on degraded.  Losing a CPU costs
   the interrupted job's elapsed time — denial of use — never its data.
+  :meth:`SmpComplex.restore_cpu` is the other half of the arc: an
+  offline CPU rejoins dispatch with a cold (cammed) private AM, so a
+  chaos scenario can script a full degrade-and-recover window.
 
 A single-CPU complex is cycle-identical to the pre-SMP synchronous
 path: no other CPU can hold a lock, so no stalls accrue, dispatch costs
@@ -136,6 +139,7 @@ class SmpComplex:
         meters=None,
         n_cpus: int | None = None,
         on_linkage_fault=None,
+        timeline=None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -144,6 +148,9 @@ class SmpComplex:
         self.tc_lock = tc_lock
         self.tracer = tracer or NULL_TRACER
         self.meters = meters
+        #: Optional repro.obs.timeline.TimelineSampler polled at round
+        #: boundaries; reads instruments only, zero simulated cycles.
+        self.timeline = timeline
         self.n_cpus = config.cpu_count() if n_cpus is None else n_cpus
         if self.n_cpus < 1:
             raise ValueError("need at least one CPU")
@@ -185,6 +192,7 @@ class SmpComplex:
         self.stall_cycles = 0
         self.elapsed_cycles = 0
         self.cpus_lost = 0
+        self.cpus_restored = 0
         self.jobs_requeued = 0
         if metrics is not None:
             metrics.counter("smp.rounds", "lockstep rounds executed",
@@ -209,6 +217,9 @@ class SmpComplex:
                           source=self.online_count)
             metrics.counter("smp.cpus_lost", "CPUs removed mid-run",
                             source=lambda: self.cpus_lost)
+            metrics.counter("smp.cpus_restored",
+                            "offline CPUs returned to service mid-run",
+                            source=lambda: self.cpus_restored)
             metrics.counter("smp.jobs_requeued",
                             "jobs restarted after losing their CPU",
                             source=lambda: self.jobs_requeued)
@@ -318,6 +329,28 @@ class SmpComplex:
                 if requeued is not None else None,
             )
         return requeued
+
+    def restore_cpu(self, index: int) -> None:
+        """Return an offline CPU to service (the chaos plane's
+        ``cpu.restore`` site).
+
+        The CPU rejoins dispatch on the next round with a cold private
+        associative memory — a full cam, since translations cached
+        before the outage may describe pages that moved while it was
+        away.  Restoring is recovery, not a fault: the complex's
+        capacity goes back up and the degradation window closes.
+        """
+        if not 0 <= index < self.n_cpus:
+            raise ValueError(f"no CPU {index} in a {self.n_cpus}-CPU complex")
+        if not self._offline[index]:
+            raise ValueError(f"CPU {index} is already online")
+        self._offline[index] = False
+        self.cpus_restored += 1
+        cpu = self.cpus[index]
+        if cpu.private_am is not None:
+            cpu.private_am.cam()
+        if self.tracer.enabled:
+            self.tracer.point("smp_cpu_restored", origin="smp", cpu=index)
 
     # -- the lockstep engine ---------------------------------------------
 
@@ -456,6 +489,8 @@ class SmpComplex:
             self._round(q)
             if on_round is not None:
                 on_round(self)
+            if self.timeline is not None:
+                self.timeline.poll()
             rounds += 1
             if rounds >= max_rounds:
                 raise RuntimeError(

@@ -198,6 +198,32 @@ class KernelServices:
         )
         self.meters.register_metrics(self.metrics)
         self.audit_trail.register_metrics(self.metrics)
+        # The time-series plane (repro.obs.timeline): off unless the
+        # config carries a timeline spec.  Like the tracer, sampling
+        # reads instruments only — zero simulated cycles either way.
+        self.timeline = None
+        self.health = None
+        if config.timeline is not None:
+            from repro.obs.health import HealthMonitor
+            from repro.obs.timeline import TimelineSampler
+
+            spec = config.timeline
+            knobs = {k: spec[k] for k in ("interval", "capacity")
+                     if k in spec}
+            self.timeline = TimelineSampler(
+                self.metrics, self.sim.clock, metrics=self.metrics, **knobs
+            )
+            self.health = HealthMonitor(spec.get("rules", []),
+                                        metrics=self.metrics)
+            self.timeline.listeners.append(self.health.observe)
+
+    def timeline_document(self) -> dict | None:
+        """The run's ``repro.timeline/v1`` document, with the health
+        monitor's breach log folded in; None when the timeline is off."""
+        if self.timeline is None:
+            return None
+        breaches = self.health.to_rows() if self.health is not None else None
+        return self.timeline.to_doc(breaches=breaches)
 
     def _am_sum(self, attr: str):
         """Aggregate one AM counter over live and retired processes."""

@@ -11,6 +11,7 @@ constructor arguments.
 """
 
 from repro.obs.audit import LEVELS, AuditTrail, TrailRecord
+from repro.obs.health import HealthMonitor, validate_rules
 from repro.obs.meters import NULL_METERS, GateMeter, Meters, ProcessMeter
 from repro.obs.registry import (
     NAME_RE,
@@ -22,7 +23,17 @@ from repro.obs.registry import (
     MetricsRegistry,
     validate_snapshot,
 )
-from repro.obs.tracer import NULL_TRACER, Span, Tracer
+from repro.obs.timeline import (
+    TimelineSampler,
+    validate_timeline,
+    validate_timeline_config,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    timeline_counter_events,
+)
 
 __all__ = [
     "NAME_RE",
@@ -36,6 +47,7 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "Tracer",
+    "timeline_counter_events",
     "NULL_METERS",
     "Meters",
     "ProcessMeter",
@@ -43,4 +55,9 @@ __all__ = [
     "LEVELS",
     "AuditTrail",
     "TrailRecord",
+    "TimelineSampler",
+    "validate_timeline",
+    "validate_timeline_config",
+    "HealthMonitor",
+    "validate_rules",
 ]

@@ -38,6 +38,7 @@ CPU a session builds takes over the ``cpu.*`` names).
 from __future__ import annotations
 
 import json
+import random
 import re
 from typing import Callable
 
@@ -94,28 +95,73 @@ class Gauge:
         return self.source() if self.source is not None else self._value
 
 
+#: Default reservoir size per histogram.  512 samples bound a
+#: histogram's memory at any observation count while keeping
+#: nearest-rank percentile estimates stable for the rolling-window
+#: reads the timeline sampler performs.
+RESERVOIR_SIZE = 512
+
+
 class Histogram:
-    """A distribution summary: count, sum, min, max (mean derived)."""
+    """A distribution summary: count, sum, min, max (mean derived),
+    plus a bounded sample reservoir for percentile estimates.
 
-    __slots__ = ("name", "doc", "count", "sum", "min", "max")
+    ``count``/``sum``/``min``/``max`` are **exact** at any scale.  The
+    reservoir holds at most ``reservoir_size`` observations via
+    Vitter's Algorithm R with a per-name seeded RNG, so memory is O(1)
+    in the observation count (a 100k-user run observes hundreds of
+    thousands of latencies) and the kept sample — hence every
+    percentile read — is a pure function of the observation sequence:
+    same run, same percentiles, on any host or shard.
+    """
 
-    def __init__(self, name: str, doc: str = "") -> None:
+    __slots__ = ("name", "doc", "count", "sum", "min", "max",
+                 "reservoir", "reservoir_size", "_rng")
+
+    def __init__(self, name: str, doc: str = "",
+                 reservoir_size: int = RESERVOIR_SIZE) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be positive")
         self.name = name
         self.doc = doc
         self.count = 0
         self.sum = 0
         self.min: float | None = None
         self.max: float | None = None
+        self.reservoir: list[float] = []
+        self.reservoir_size = reservoir_size
+        # Seeded by name, not by wall state: two systems observing the
+        # same sequence keep byte-identical reservoirs.
+        self._rng = random.Random(f"reservoir|{name}")
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self.reservoir) < self.reservoir_size:
+            self.reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self.reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile over the reservoir (None if empty).
+
+        ``q`` is clamped to [0, 1].  Exact while fewer observations
+        than the reservoir size have arrived; a deterministic uniform
+        estimate beyond that.
+        """
+        if not self.reservoir:
+            return None
+        ordered = sorted(self.reservoir)
+        index = int(max(0.0, min(1.0, q)) * (len(ordered) - 1) + 0.5)
+        return ordered[max(0, min(len(ordered) - 1, index))]
 
     def summary(self) -> dict:
         return {
@@ -214,9 +260,21 @@ class MetricsRegistry:
 
     @staticmethod
     def delta(before: dict, after: dict) -> dict:
-        """Counter differences between two snapshots (new names count
-        from zero).  Gauges and histograms are levels/distributions, not
-        flows, so only counters are differenced."""
+        """Counter differences between two snapshots.
+
+        **Counters only.**  Counters are flows, so ``after - before``
+        is the activity between the two snapshots; a name present only
+        in ``after`` (an instrument registered between the snapshots)
+        counts from zero.  Gauges are point-in-time levels and
+        histograms are distribution summaries — subtracting either
+        produces a number with no physical meaning (a "free frames
+        delta" is not a flow of frames; a min/max cannot be
+        un-observed) — so both kinds are deliberately absent from the
+        result.  Callers that want interval views of those kinds read
+        the gauge's level at each boundary, or difference a histogram's
+        exact ``count``/``sum`` themselves (what the timeline sampler
+        does); ``min``/``max``/percentiles are not differentiable.
+        """
         b = before["counters"]
         return {
             name: value - b.get(name, 0)

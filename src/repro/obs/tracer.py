@@ -136,7 +136,7 @@ class Tracer:
     def to_dicts(self) -> list[dict]:
         return [s.to_dict() for s in self.spans]
 
-    def to_chrome_trace(self) -> dict:
+    def to_chrome_trace(self, timeline: dict | None = None) -> dict:
         """The span list as a Chrome trace-event document (Perfetto).
 
         One pid (the simulated machine) with one tid lane per simulated
@@ -146,6 +146,11 @@ class Tracer:
         (complete) events with simulated-clock microsecond-equivalent
         ``ts``/``dur``; a span still open at export time is emitted with
         ``dur=0`` and ``aborted`` set rather than being dropped.
+
+        ``timeline`` (a ``repro.timeline/v1`` document) appends its
+        series as Perfetto counter tracks and its breach log as instant
+        events — see :func:`timeline_counter_events` — so a chaos
+        storm renders as graphs above the span lanes.
         """
         pid = 1
         lanes: dict[str, int] = {"kernel": 0}
@@ -186,7 +191,55 @@ class Tracer:
                 "tid": lane(str(attrs.get("process", "kernel"))),
                 "args": attrs,
             })
+        if timeline is not None:
+            events.extend(timeline_counter_events(timeline, pid=pid))
         return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def timeline_counter_events(doc: dict, pid: int = 1) -> list[dict]:
+    """A ``repro.timeline/v1`` document as Perfetto trace events.
+
+    Each counter delta, gauge level, and histogram percentile series
+    becomes a "C" (counter) event stream keyed by metric name, so
+    Perfetto draws one graph track per series; SLO breaches become "i"
+    (instant) events on the process, so they render as markers at the
+    simulated time the rule tripped.
+    """
+    events: list[dict] = []
+    for sample in doc.get("samples", []):
+        ts = sample["t"]
+        for name, value in sample["counters"].items():
+            events.append({
+                "name": name, "ph": "C", "ts": ts, "pid": pid,
+                "tid": 0, "args": {"delta": value},
+            })
+        for name, value in sample["gauges"].items():
+            events.append({
+                "name": name, "ph": "C", "ts": ts, "pid": pid,
+                "tid": 0, "args": {"value": value},
+            })
+        for name, row in sample["histograms"].items():
+            args = {
+                key: value for key, value in row.items()
+                if key.startswith("p") and value is not None
+            }
+            if args:
+                events.append({
+                    "name": name, "ph": "C", "ts": ts, "pid": pid,
+                    "tid": 0, "args": args,
+                })
+    for breach in doc.get("breaches", []):
+        events.append({
+            "name": f"breach:{breach['rule']}",
+            "ph": "i", "ts": breach["t"], "pid": pid, "tid": 0,
+            "s": "p",
+            "args": {
+                "kind": breach["kind"],
+                "value": breach["value"],
+                "limit": breach["limit"],
+            },
+        })
+    return events
 
 
 #: The shared disabled tracer every component defaults to.  Do not

@@ -240,6 +240,7 @@ class MulticsSystem:
             tracer=services.tracer,
             meters=services.meters,
             n_cpus=n_cpus,
+            timeline=services.timeline,
         )
 
     def chaos_engine(self, scenario, complex_=None) -> "ChaosEngine":
@@ -313,6 +314,20 @@ class MulticsSystem:
     def audit_trail(self):
         """The bounded security audit trail (repro.obs)."""
         return self.services.audit_trail
+
+    @property
+    def timeline(self):
+        """The interval timeline sampler, or None when off (repro.obs)."""
+        return self.services.timeline
+
+    @property
+    def health(self):
+        """The SLO health monitor, or None when off (repro.obs)."""
+        return self.services.health
+
+    def timeline_document(self) -> dict | None:
+        """The run's ``repro.timeline/v1`` document (None when off)."""
+        return self.services.timeline_document()
 
 
 class Session:

@@ -185,7 +185,7 @@ class WorkloadDriver:
     def __init__(self, system, n_cpus: int | None = None,
                  batch_size: int = 64, quantum: int | None = None,
                  max_instructions: int = 1_000_000,
-                 seed_words: int = 8) -> None:
+                 seed_words: int = 8, on_round=None) -> None:
         if system.config.supervisor is SupervisorKind.LEGACY:
             raise ValueError(
                 "the workload driver logs in through the E14 listener; "
@@ -199,6 +199,13 @@ class WorkloadDriver:
         self.max_instructions = max_instructions
         self.seed_words = seed_words
         self.complex = system.cpu_complex(n_cpus)
+        #: Forwarded to every ``run_jobs`` call — the hook a bench wires
+        #: its chaos engine through at workload scale.
+        self.on_round = on_round
+        #: The system's timeline sampler (None when off): polled at
+        #: burst boundaries so idle admission gaps still land in the
+        #: right interval, and flushed once at run end.
+        self._timeline = system.services.timeline
         self._listener = system.listener
         # The shared library: profile name -> (object, parsed code).
         self._library: dict[str, CodeSegment] = {}
@@ -375,9 +382,12 @@ class WorkloadDriver:
                 if (admitted := self._admit(spec, i)) is not None
             ]
             if not staged:
+                if self._timeline is not None:
+                    self._timeline.poll()
                 continue
             self.complex.run_jobs([job for job, _ in staged],
-                                  quantum=self.quantum)
+                                  quantum=self.quantum,
+                                  on_round=self.on_round)
             self.batches += 1
             for job, spec in staged:
                 if job.error is not None:
@@ -387,6 +397,12 @@ class WorkloadDriver:
                 latency = job.finished - spec.arrival
                 self._latency.observe(latency)
                 report.latencies.append(latency)
+            if self._timeline is not None:
+                self._timeline.poll()
+        if self._timeline is not None:
+            # Flush trailing activity mid-interval so the last sample
+            # always covers through end_clock.
+            self._timeline.poll(force=True)
         report.wall_seconds = time.perf_counter() - wall0
         report.end_clock = self.system.clock.now
         report.admitted = self.logins

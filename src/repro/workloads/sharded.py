@@ -38,6 +38,7 @@ from repro.workloads.shards.merge import (
     merge_audits,
     merge_reports,
     merge_snapshots,
+    merge_timelines,
 )
 from repro.workloads.shards.spec import (
     ShardResult,
@@ -78,6 +79,9 @@ class ShardedReport:
     report: WorkloadReport
     snapshot: dict = field(default_factory=dict)
     audit: dict = field(default_factory=dict)
+    #: The merged ``repro.timeline/v1`` document; None when the config
+    #: ran without a timeline.
+    timeline: dict | None = None
     shards: list[ShardResult] = field(default_factory=list, repr=False)
     wall_seconds: float = 0.0
 
@@ -93,7 +97,7 @@ class ShardedReport:
         report = self.report.to_dict()
         for wall_key in ("wall_seconds", "users_per_sec", "cycles_per_sec"):
             report.pop(wall_key, None)
-        return {
+        doc = {
             "n_shards": self.n_shards,
             "report": report,
             "snapshot": self.snapshot,
@@ -103,6 +107,11 @@ class ShardedReport:
                 for s in self.shards
             ],
         }
+        if self.timeline is not None:
+            # All-simulated values, so the merged timeline belongs in
+            # the canonical (byte-stable) document.
+            doc["timeline"] = self.timeline
+        return doc
 
     def canonical_json(self) -> str:
         return json.dumps(self.canonical_dict(), sort_keys=True)
@@ -275,6 +284,7 @@ def run_sharded(
         report=merged,
         snapshot=merge_snapshots(results, metrics),
         audit=merge_audits(results),
+        timeline=merge_timelines(results),
         shards=sorted(results, key=lambda r: r.shard_id),
         wall_seconds=wall,
     )

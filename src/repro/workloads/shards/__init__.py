@@ -18,6 +18,7 @@ from repro.workloads.shards.merge import (
     merge_audits,
     merge_reports,
     merge_snapshots,
+    merge_timelines,
 )
 from repro.workloads.shards.spec import (
     ShardResult,
@@ -36,6 +37,7 @@ __all__ = [
     "merge_audits",
     "merge_reports",
     "merge_snapshots",
+    "merge_timelines",
     "partition_population",
     "run_shard",
 ]

@@ -11,7 +11,13 @@ asserts).  Merge semantics per instrument kind:
 * histograms — count/sum/min/max folded, mean recomputed;
 * clock — the **max** shard clock (the fleet is done when its slowest
   member is);
-* audit summaries — seen/dropped/denials summed, per-shard rows kept.
+* audit summaries — seen/dropped/denials summed, per-shard rows kept;
+* timelines — folded per interval *index* (all shards sample the same
+  simulated cadence): counter deltas and gauge levels summed like the
+  snapshot fold, histogram count/sum summed, percentile estimates
+  folded with **max** (the conservative worst-shard bound — exact
+  cross-shard quantiles would need the raw reservoirs), breach rows
+  concatenated with their shard_id and sorted by (t, shard_id, rule).
 
 Wall-clock numbers never enter the merged snapshot — they ride beside
 it — so the deterministic documents stay stable across runs and hosts.
@@ -134,6 +140,93 @@ def merge_snapshots(
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
         "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def merge_timelines(results: list[ShardResult]) -> dict | None:
+    """Fold per-shard ``repro.timeline/v1`` documents into one.
+
+    Returns None when no shard carried a timeline.  All shards of one
+    run sample the same cadence from the same construction time, so
+    samples align on interval *index*; shards whose documents disagree
+    on ``t0`` or ``interval`` cannot be aligned and raise
+    ``ValueError``.  Within an index bucket ``t``/``dt`` take the max
+    (the bucket is covered when its slowest shard is).  The merged
+    document validates against :func:`repro.obs.timeline.validate_timeline`.
+    """
+    from repro.obs.timeline import SCHEMA as TIMELINE_SCHEMA
+    from repro.obs.timeline import SCHEMA_VERSION as TIMELINE_VERSION
+
+    ordered = [
+        r for r in sorted(results, key=lambda r: r.shard_id)
+        if r.timeline is not None
+    ]
+    if not ordered:
+        return None
+    base = ordered[0].timeline
+    buckets: dict[int, dict] = {}
+    breaches: list[dict] = []
+    dropped = 0
+    capacity = 0
+    for result in ordered:
+        doc = result.timeline
+        if (doc["t0"], doc["interval"]) != (base["t0"], base["interval"]):
+            raise ValueError(
+                f"shard {result.shard_id} timeline (t0={doc['t0']}, "
+                f"interval={doc['interval']}) does not align with shard "
+                f"{ordered[0].shard_id} (t0={base['t0']}, "
+                f"interval={base['interval']})"
+            )
+        dropped += doc["dropped"]
+        capacity = max(capacity, doc["capacity"])
+        for sample in doc["samples"]:
+            into = buckets.setdefault(sample["index"], {
+                "index": sample["index"], "t": 0, "dt": 0,
+                "counters": {}, "gauges": {}, "histograms": {},
+            })
+            into["t"] = max(into["t"], sample["t"])
+            into["dt"] = max(into["dt"], sample["dt"])
+            for name, value in sample["counters"].items():
+                into["counters"][name] = (
+                    into["counters"].get(name, 0) + value
+                )
+            for name, value in sample["gauges"].items():
+                into["gauges"][name] = into["gauges"].get(name, 0) + value
+            for name, row in sample["histograms"].items():
+                fold = into["histograms"].setdefault(
+                    name, {"count": 0, "sum": 0}
+                )
+                fold["count"] += row["count"]
+                fold["sum"] += row["sum"]
+                for key, value in row.items():
+                    if not key.startswith("p") or value is None:
+                        continue
+                    prior = fold.get(key)
+                    fold[key] = (
+                        value if prior is None else max(prior, value)
+                    )
+        for breach in doc["breaches"]:
+            breaches.append({**breach, "shard_id": result.shard_id})
+    samples = [
+        {
+            **bucket,
+            "counters": dict(sorted(bucket["counters"].items())),
+            "gauges": dict(sorted(bucket["gauges"].items())),
+            "histograms": dict(sorted(bucket["histograms"].items())),
+        }
+        for _, bucket in sorted(buckets.items())
+    ]
+    breaches.sort(key=lambda b: (b["t"], b["shard_id"], b["rule"]))
+    return {
+        "schema": TIMELINE_SCHEMA,
+        "schema_version": TIMELINE_VERSION,
+        "t0": base["t0"],
+        "interval": base["interval"],
+        "capacity": capacity,
+        "dropped": dropped,
+        "n_shards": len(ordered),
+        "samples": samples,
+        "breaches": breaches,
     }
 
 

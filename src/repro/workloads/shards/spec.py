@@ -101,6 +101,10 @@ class ShardResult:
     snapshot: dict = field(default_factory=dict)
     #: Audit-trail summary: seen / dropped / denials.
     audit: dict = field(default_factory=dict)
+    #: The shard's ``repro.timeline/v1`` document (None when the config
+    #: runs without a timeline).  All-simulated values, so it folds
+    #: deterministically — see ``shards/merge.merge_timelines``.
+    timeline: dict | None = None
     #: Wall seconds this worker spent end to end (boot included).
     #: Lives outside the snapshot so merged documents stay
     #: byte-identical across same-seed runs.

@@ -76,5 +76,6 @@ def run_shard(spec: ShardSpec) -> ShardResult:
             "dropped": trail.dropped,
             "denials": trail.denials,
         },
+        timeline=system.timeline_document(),
         wall_seconds=time.perf_counter() - wall0,
     )

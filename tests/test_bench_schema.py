@@ -58,6 +58,27 @@ class TestCheckBenchSchema:
         assert proc.returncode == 1
         assert "unreadable" in proc.stdout
 
+    def test_timeline_export_dispatches_to_its_validator(self, tmp_path):
+        from repro.hw.clock import Clock
+        from repro.obs import TimelineSampler
+
+        clock = Clock()
+        registry = MetricsRegistry(clock=clock)
+        registry.counter("gate.calls").inc(3)
+        sampler = TimelineSampler(registry, clock, interval=10)
+        clock.advance(10)
+        sampler.poll()
+        doc = sampler.to_doc()
+        (tmp_path / "timeline.json").write_text(json.dumps(doc))
+        bad = json.loads(json.dumps(doc))
+        bad["samples"][0]["index"] = "one"
+        (tmp_path / "timeline_bad.json").write_text(json.dumps(bad))
+        proc = run_script(tmp_path)
+        assert proc.returncode == 1
+        assert "timeline.json: ok" in proc.stdout
+        assert "timeline_bad.json" in proc.stdout
+        assert "index must be an integer" in proc.stdout
+
     def test_no_results_is_not_an_error(self, tmp_path):
         proc = run_script(tmp_path / "never_created")
         assert proc.returncode == 0

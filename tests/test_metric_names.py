@@ -35,6 +35,7 @@ def registered_names() -> set[str]:
     names = set()
     for config in (
         kernel_config(),
+        kernel_config(timeline={}),  # timeline.* / health.* register
         legacy_config(),
         harness_config(
             fault_plan=FaultPlan(

@@ -366,3 +366,160 @@ class TestSystemWiring:
             standard_workload(system, tag="z")
             clocks[tracing] = system.clock.now
         assert clocks[False] == clocks[True]
+
+
+class TestHistogramReservoir:
+    """The bounded deterministic reservoir behind percentile reads."""
+
+    def test_reservoir_is_bounded_and_aggregates_exact(self):
+        from repro.obs.registry import Histogram
+
+        h = Histogram("h.x", reservoir_size=64)
+        for i in range(10_000):
+            h.observe(i)
+        assert len(h.reservoir) == 64
+        assert h.count == 10_000
+        assert h.sum == sum(range(10_000))
+        assert (h.min, h.max) == (0, 9_999)
+
+    def test_same_sequence_same_reservoir_and_percentiles(self):
+        from repro.obs.registry import Histogram
+
+        runs = []
+        for _ in range(2):
+            h = Histogram("h.x", reservoir_size=32)
+            for i in range(1_000):
+                h.observe((i * 37) % 101)
+            runs.append((list(h.reservoir), h.percentile(0.5),
+                         h.percentile(0.95)))
+        assert runs[0] == runs[1]
+
+    def test_reservoir_seed_is_per_name(self):
+        from repro.obs.registry import Histogram
+
+        a, b = Histogram("h.a", reservoir_size=8), Histogram(
+            "h.b", reservoir_size=8)
+        for i in range(500):
+            a.observe(i)
+            b.observe(i)
+        # Same aggregates either way; the kept samples differ because
+        # each name seeds its own RNG.
+        assert (a.count, a.sum) == (b.count, b.sum)
+        assert a.reservoir != b.reservoir
+
+    def test_percentiles_exact_under_the_bound(self):
+        from repro.obs.registry import Histogram
+
+        h = Histogram("h.x")
+        assert h.percentile(0.5) is None
+        for v in (10, 20, 30, 40, 50):
+            h.observe(v)
+        assert h.percentile(0.0) == 10
+        assert h.percentile(0.5) == 30
+        assert h.percentile(1.0) == 50
+        assert h.percentile(-3) == 10   # q clamped
+        assert h.percentile(7) == 50
+
+    def test_summary_shape_is_unchanged(self):
+        from repro.obs.registry import Histogram
+
+        h = Histogram("h.x")
+        h.observe(2)
+        h.observe(4)
+        assert h.summary() == {
+            "count": 2, "sum": 6, "min": 2, "max": 4, "mean": 3.0,
+        }
+
+
+class TestDeltaSemantics:
+    """``MetricsRegistry.delta`` is counters-only by design: counters
+    are flows (differences mean activity); gauge levels and histogram
+    summaries are not."""
+
+    def test_counters_only_gauges_and_histograms_ignored(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b", "doc")
+        g = reg.gauge("g.x", "doc")
+        h = reg.histogram("h.x", "doc")
+        g.set(100)
+        h.observe(5)
+        before = reg.snapshot()
+        c.inc(4)
+        g.set(1)        # level moved down: not a flow, not in delta
+        h.observe(50)   # summary changed: not in delta either
+        after = reg.snapshot()
+        assert MetricsRegistry.delta(before, after) == {"a.b": 4}
+
+    def test_counter_registered_between_snapshots_counts_from_zero(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("new.flow", "doc").inc(7)
+        after = reg.snapshot()
+        assert MetricsRegistry.delta(before, after) == {"new.flow": 7}
+
+    def test_quiet_counters_read_zero(self):
+        # Every counter known to the *after* snapshot appears, quiet
+        # ones as an explicit 0 — "no activity" is an answer, not a
+        # missing key.
+        reg = MetricsRegistry()
+        reg.counter("a.b", "doc").inc(2)
+        busy = reg.counter("c.d", "doc")
+        before = reg.snapshot()
+        busy.inc()
+        assert MetricsRegistry.delta(before, reg.snapshot()) == \
+            {"a.b": 0, "c.d": 1}
+
+
+class TestTimelineCounterTracks:
+    """`timeline_counter_events`: the repro.timeline/v1 → Perfetto
+    counter-track projection (scripts/export_trace.py --counters)."""
+
+    CANNED = {
+        "schema": "repro.timeline/v1", "schema_version": 1,
+        "t0": 0, "interval": 100, "capacity": 8, "dropped": 0,
+        "samples": [
+            {"index": 1, "t": 100, "dt": 100,
+             "counters": {"smp.busy_cycles": 90},
+             "gauges": {"smp.cpus": 2},
+             "histograms": {"job.latency":
+                            {"count": 3, "sum": 60, "p50": 15, "p95": 30}}},
+            {"index": 2, "t": 200, "dt": 100,
+             "counters": {}, "gauges": {"smp.cpus": 1},
+             "histograms": {"job.latency":
+                            {"count": 0, "sum": 0, "p50": None,
+                             "p95": None}}},
+        ],
+        "breaches": [
+            {"t": 200, "index": 2, "rule": "capacity",
+             "kind": "gauge_floor", "value": 1, "limit": 2},
+        ],
+    }
+
+    def test_projection_shapes(self):
+        from repro.obs import timeline_counter_events
+
+        events = timeline_counter_events(self.CANNED)
+        counters = [e for e in events if e["ph"] == "C"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in counters} == {
+            "smp.busy_cycles", "smp.cpus", "job.latency",
+        }
+        # Every counter point is timestamped at its sample time; the
+        # all-None percentile row at t=200 emits no track point.
+        assert [e["ts"] for e in counters if e["name"] == "smp.cpus"] == \
+            [100, 200]
+        assert [e["ts"] for e in counters if e["name"] == "job.latency"] \
+            == [100]
+        [breach] = instants
+        assert breach["name"] == "breach:capacity"
+        assert breach["ts"] == 200 and breach["s"] == "p"
+        assert breach["args"] == {
+            "kind": "gauge_floor", "value": 1, "limit": 2,
+        }
+
+    def test_events_ride_the_chrome_trace_export(self):
+        t = Tracer(clock=Clock(), enabled=True)
+        t.point("gate", process="p1")
+        doc = t.to_chrome_trace(timeline=self.CANNED)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "C", "i", "M"} <= phases

@@ -44,7 +44,7 @@ def test_default_name_derives_from_default_pr(rb, sandbox):
 
 
 def test_current_default_pr_tag(rb):
-    assert rb.DEFAULT_PR == "pr8"
+    assert rb.DEFAULT_PR == "pr9"
 
 
 def test_list_prints_known_ids_and_exits(rb, capsys):
@@ -53,7 +53,7 @@ def test_list_prints_known_ids_and_exits(rb, capsys):
 
 
 def _scaled_bench_stubs(rb, monkeypatch, seen):
-    """Replace the two scale-aware benches with quick-recording stubs."""
+    """Replace the scale-aware benches with quick-recording stubs."""
 
     def fake_e18(quick=False):
         seen["E18"] = quick
@@ -70,22 +70,38 @@ def _scaled_bench_stubs(rb, monkeypatch, seen):
             "deterministic_merge": True,
         }, rb._boot_snapshot()
 
+    def fake_e20(quick=False):
+        seen["E20"] = quick
+        return {
+            "cores": 1,
+            "overhead_wall_overhead_ratio": 1.0,
+            "overhead_clock_identical": True,
+            "chaos_breaches": 1, "chaos_breaches_confined": True,
+            "chaos_busy_density_storm": 0.5,
+            "chaos_busy_density_after": 0.9,
+            "same_seed_identical": True, "sharded_identical": True,
+            "one_shard_matches_driver": True,
+        }, rb._boot_snapshot()
+
     monkeypatch.setattr(rb, "workload_bench_numbers", fake_e18)
     monkeypatch.setattr(rb, "sharded_bench_numbers", fake_e19)
+    monkeypatch.setattr(rb, "timeline_bench_numbers", fake_e20)
 
 
 def test_quick_flag_reaches_the_scaled_benches(rb, sandbox, monkeypatch):
     seen = {}
     _scaled_bench_stubs(rb, monkeypatch, seen)
-    assert rb.main(["run_benches", "--only", "E18,E19", "--quick"]) == 0
-    assert seen == {"E18": True, "E19": True}
+    assert rb.main(
+        ["run_benches", "--only", "E18,E19,E20", "--quick"]
+    ) == 0
+    assert seen == {"E18": True, "E19": True, "E20": True}
 
 
 def test_without_quick_the_full_legs_run(rb, sandbox, monkeypatch):
     seen = {}
     _scaled_bench_stubs(rb, monkeypatch, seen)
-    assert rb.main(["run_benches", "--only", "E18,E19"]) == 0
-    assert seen == {"E18": False, "E19": False}
+    assert rb.main(["run_benches", "--only", "E18,E19,E20"]) == 0
+    assert seen == {"E18": False, "E19": False, "E20": False}
 
 
 def test_pr_flag_overrides_default(rb, sandbox):

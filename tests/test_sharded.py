@@ -28,6 +28,7 @@ from repro.workloads.shards import (
     merge_audits,
     merge_reports,
     merge_snapshots,
+    merge_timelines,
     run_shard,
 )
 
@@ -318,3 +319,94 @@ class TestRunSharded:
             ]
             assert spawn_failures == 1
         assert pooled.canonical_json() == serial.canonical_json()
+
+
+class TestMergeEdgeCases:
+    """Degenerate shard results the folds must absorb, not trip over."""
+
+    def test_empty_shard_result_is_the_identity(self):
+        # A shard whose slice got no users: default report, empty
+        # tables, empty audit.  Folding it in changes nothing.
+        busy = _result(0, counters={"x.a": 3}, gauges={"g.l": 2},
+                       clock=40,
+                       report=WorkloadReport(users=2, admitted=2,
+                                             start_clock=1, end_clock=40),
+                       audit={"seen": 5, "dropped": 0, "denials": 1})
+        idle = _result(1)
+        merged = merge_snapshots([busy, idle])
+        assert merged["counters"] == {"x.a": 3}
+        assert merged["gauges"] == {"g.l": 2}
+        assert merged["clock"] == 40
+        report = merge_reports([busy, idle])
+        assert (report.users, report.admitted) == (2, 2)
+        audit = merge_audits([busy, idle])
+        assert (audit["seen"], audit["denials"]) == (5, 1)
+        assert len(audit["per_shard"]) == 2
+
+    def test_disjoint_metric_names_union(self):
+        # Shards need not register the same instruments (a chaos
+        # controller only wired on shard 0, say): the fold is a union,
+        # with absent names contributing nothing.
+        merged = merge_snapshots([
+            _result(0, counters={"only.left": 2}, gauges={"l.g": 1}),
+            _result(1, counters={"only.right": 5}, gauges={"r.g": 4}),
+        ])
+        assert merged["counters"] == {"only.left": 2, "only.right": 5}
+        assert merged["gauges"] == {"l.g": 1, "r.g": 4}
+        assert validate_snapshot(merged) == []
+
+    def test_zero_sample_histogram_folds_to_empty(self):
+        empty = {"count": 0, "sum": 0, "min": None, "max": None,
+                 "mean": 0.0}
+        merged = merge_snapshots([
+            _result(0, histograms={"w.lat": dict(empty)}),
+            _result(1, histograms={"w.lat": dict(empty)}),
+        ])
+        assert merged["histograms"]["w.lat"] == empty
+
+    def test_empty_audit_trails_sum_to_zero(self):
+        merged = merge_audits([_result(0), _result(1)])
+        assert (merged["seen"], merged["dropped"], merged["denials"]) \
+            == (0, 0, 0)
+        assert [row["shard_id"] for row in merged["per_shard"]] == [0, 1]
+
+    def test_timeline_merge_skips_timelineless_shards(self):
+        doc = {
+            "schema": "repro.timeline/v1", "schema_version": 1,
+            "t0": 0, "interval": 100, "capacity": 8, "dropped": 0,
+            "samples": [{"index": 1, "t": 100, "dt": 100,
+                         "counters": {"x.a": 2}, "gauges": {},
+                         "histograms": {}}],
+            "breaches": [],
+        }
+        with_tl = _result(0)
+        with_tl.timeline = doc
+        without = _result(1)
+        merged = merge_timelines([without, with_tl])
+        assert merged["n_shards"] == 1
+        assert merged["samples"][0]["counters"] == {"x.a": 2}
+
+    def test_timeline_zero_sample_histogram_row_folds(self):
+        base = {
+            "schema": "repro.timeline/v1", "schema_version": 1,
+            "t0": 0, "interval": 100, "capacity": 8, "dropped": 0,
+            "breaches": [],
+        }
+        a = _result(0)
+        a.timeline = dict(base, samples=[
+            {"index": 1, "t": 100, "dt": 100, "counters": {},
+             "gauges": {},
+             "histograms": {"h.x": {"count": 0, "sum": 0,
+                                    "p50": None, "p95": None}}},
+        ])
+        b = _result(1)
+        b.timeline = dict(base, samples=[
+            {"index": 1, "t": 120, "dt": 120, "counters": {},
+             "gauges": {},
+             "histograms": {"h.x": {"count": 2, "sum": 9,
+                                    "p50": 4, "p95": 5}}},
+        ])
+        merged = merge_timelines([a, b])
+        [row] = merged["samples"]
+        assert row["histograms"]["h.x"] == \
+            {"count": 2, "sum": 9, "p50": 4, "p95": 5}
