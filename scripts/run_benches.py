@@ -7,8 +7,8 @@ associative-memory hit rates, metering/audit attribution, SMP
 throughput, chaos-storm containment, and workload-engine throughput
 for the hot-path workloads (E4 ring crossings, E5 page-fault storm,
 E15 associative memory, E16 metering & audit, E17 SMP lockstep, E18
-workload engine, E19 sharded runs, E20 timeline plane, R2 chaos
-storm).  The document is the *merged*
+workload engine, E19 sharded runs, E20 timeline plane, E21
+specialized kernels, R2 chaos storm).  The document is the *merged*
 export — a real metrics snapshot (schema ``repro.obs/v1``) plus a
 ``bench`` section of derived numbers — validated as written, and
 written to ``benchmarks/results/BENCH_<pr>.json`` so
@@ -24,7 +24,8 @@ same workloads pytest selects with the ``bench`` marker
 collection machinery.  An unknown or empty id list is an error that
 names the known ids, never a silent no-op run.  ``--list`` prints the
 known ids and exits; ``--quick`` skips the 10k/100k-user legs of E18,
-E19, and E20 so a local full sweep stays interactive (quick runs never
+E19, and E20 and trains E21's specialized kernels on a smaller
+population, so a local full sweep stays interactive (quick runs never
 assert the scale-dependent speedup floors).
 
 Usage::
@@ -60,15 +61,17 @@ from test_e17_smp import bench_numbers as smp_bench_numbers  # noqa: E402
 from test_e18_workload import bench_numbers as workload_bench_numbers  # noqa: E402
 from test_e19_sharded import bench_numbers as sharded_bench_numbers  # noqa: E402
 from test_e20_timeline import bench_numbers as timeline_bench_numbers  # noqa: E402
+from test_e21_specialize import bench_numbers as specialize_bench_numbers  # noqa: E402
 from test_r2_chaos import bench_numbers as chaos_bench_numbers  # noqa: E402
 
 #: Experiment ids this runner knows, in execution order.  These are the
 #: same workloads pytest runs under the ``bench`` marker.
-BENCH_IDS = ("E4", "E5", "E15", "E16", "E17", "E18", "E19", "E20", "R2")
+BENCH_IDS = ("E4", "E5", "E15", "E16", "E17", "E18", "E19", "E20", "E21",
+             "R2")
 
 #: The PR tag this checkout exports by default — the one place to bump
 #: per PR (``--pr`` / ``BENCH_PR`` override it at run time).
-DEFAULT_PR = "pr9"
+DEFAULT_PR = "pr10"
 
 
 def bench_e4() -> dict:
@@ -195,7 +198,7 @@ def main(argv: list[str]) -> int:
     t0 = time.perf_counter()
     bench: dict = {}
     snapshot: dict | None = None
-    e15 = e16 = e17 = e18 = e19 = e20 = r2 = None
+    e15 = e16 = e17 = e18 = e19 = e20 = e21 = r2 = None
     if "E4" in selected:
         bench["e4_ring_cost"] = bench_e4()
     if "E5" in selected:
@@ -218,6 +221,9 @@ def main(argv: list[str]) -> int:
     if "E20" in selected:
         e20, snapshot = timeline_bench_numbers(quick=quick)
         bench["e20_timeline"] = e20
+    if "E21" in selected:
+        e21, snapshot = specialize_bench_numbers(quick=quick)
+        bench["e21_specialize"] = e21
     if "R2" in selected:
         r2, snapshot = chaos_bench_numbers()
         bench["r2_chaos"] = r2
@@ -280,6 +286,16 @@ def main(argv: list[str]) -> int:
               f"{e20['same_seed_identical']}  sharded "
               f"{e20['sharded_identical']}  1-shard == driver "
               f"{e20['one_shard_matches_driver']}")
+    if e21 is not None:
+        print(f"  specialize: max gate cut "
+              f"{e21['max_gate_reduction']:.0%} of "
+              f"{e21['gates_total']} gates  "
+              f"E11 {e21['pen_successes_total']}/"
+              f"{e21['pen_attempted_total']} attacks  "
+              f"identical {e21['all_identical']}  "
+              f"deny-complete {e21['all_deny_complete']}  "
+              f"{e21['orchestrator_tenants']} tenants "
+              f"({e21['orchestrator_cross_denials']} cross denials)")
     if r2 is not None:
         print(f"  chaos: {r2['chaos_events']} events / "
               f"{r2['faults_injected']} faults  "

@@ -179,6 +179,17 @@ class AuthenticationError(KernelDenial):
     """Login failed: unknown user or wrong password."""
 
 
+class SpecializationDenial(KernelDenial):
+    """A specialized kernel's deny stub refused a gate outside the
+    workload profile it was generated for.
+
+    Denial of use, never wrong data: the gate exists (same name, same
+    ring brackets, same argument validation), but its handler is a stub
+    that refuses and audits through the one funnel every other denial
+    uses.
+    """
+
+
 # ---------------------------------------------------------------------------
 # User-ring software errors (not security relevant; never raised by kernel)
 # ---------------------------------------------------------------------------

@@ -169,7 +169,16 @@ class GateTable:
         self.rejections = 0
         self.tracer = getattr(services, "tracer", None) or NULL_TRACER
         self.meters = getattr(services, "meters", None) or NULL_METERS
-        metrics = getattr(services, "metrics", None)
+        self.claim_metrics()
+
+    def claim_metrics(self) -> None:
+        """Bind the ``gate.*`` metric sources to this table.
+
+        The registry's latest-owner-wins rebinding makes this the
+        install step when a system swaps supervisors: the active table
+        is the one the counters read.
+        """
+        metrics = getattr(self.services, "metrics", None)
         if metrics is not None:
             metrics.counter("gate.calls", "gate invocations",
                             source=lambda: self.calls)

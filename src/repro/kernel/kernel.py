@@ -32,8 +32,16 @@ class Supervisor:
 
     def __init__(self, services: KernelServices) -> None:
         self.services = services
-        self.gates = GateTable(services, services.audit)
+        self.gates = self._make_table()
         self._register_gates()
+
+    def _make_table(self) -> GateTable:
+        """The gate table this supervisor dispatches through.
+
+        Hook: :class:`repro.kernel.specialize.SpecializedKernel`
+        substitutes a table whose unprofiled entries are deny stubs.
+        """
+        return GateTable(self.services, self.services.audit)
 
     def _register_gates(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -1,0 +1,163 @@
+"""Run N specialized kernels side-by-side over one substrate.
+
+The MultiK half of ROADMAP item 2: one shared SMP/VM substrate (the
+:class:`~repro.kernel.services.KernelServices` — memory hierarchy,
+file system, scheduler, audit funnel), many perimeters.  Each tenant
+class (a workload profile) gets its own :class:`SpecializedKernel` and
+its own user-ring login listener; the orchestrator routes every call
+to the kernel of the process's tenant, falling back to the system's
+full kernel for processes no tenant owns (the initializer, daemons).
+
+Isolation story: the kernels share *state* but not *perimeter* — a
+tenant reaching for a gate outside its class's profile hits a deny
+stub in its own kernel, is refused, and is audited, even though the
+full kernel on the same substrate would have granted the call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+from repro.config import USER_RING, SupervisorKind
+from repro.kernel.specialize import GateProfile, SpecializedKernel
+from repro.proc.process import Process
+from repro.security.principal import KERNEL_PRINCIPAL
+from repro.user.login import LoginListener
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import MulticsSystem, Session
+
+
+class KernelOrchestrator:
+    """Tenant-class routing over a shared substrate."""
+
+    def __init__(self, system: "MulticsSystem") -> None:
+        if system.config.supervisor is SupervisorKind.LEGACY:
+            raise ValueError(
+                "the orchestrator runs specialized kernels over the "
+                "security-kernel substrate, not the legacy supervisor"
+            )
+        self.system = system
+        self.services = system.services
+        self.kernels: dict[str, SpecializedKernel] = {}
+        self.listeners: dict[str, LoginListener] = {}
+        #: pid -> tenant name (the routing table).
+        self._tenant_of: dict[int, str] = {}
+        self.routed_calls = 0
+        self.unrouted_calls = 0
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        metrics = getattr(self.services, "metrics", None)
+        if metrics is None:  # pragma: no cover - services always have one
+            return
+        metrics.gauge(
+            "specialize.tenants",
+            "tenant classes with a routed specialized kernel",
+            source=lambda: len(self.kernels),
+        )
+        metrics.counter(
+            "specialize.routed_calls",
+            "orchestrated calls dispatched to a tenant kernel",
+            source=lambda: self.routed_calls,
+        )
+        metrics.counter(
+            "specialize.unrouted_calls",
+            "orchestrated calls that fell back to the full kernel",
+            source=lambda: self.unrouted_calls,
+        )
+
+    # -- tenants ----------------------------------------------------------
+
+    def add_tenant(self, tenant: str, profile: GateProfile) -> SpecializedKernel:
+        """Generate and route a specialized kernel for ``tenant``."""
+        if tenant in self.kernels:
+            raise ValueError(f"tenant {tenant!r} already has a kernel")
+        kernel = SpecializedKernel(self.services, profile)
+        listener_proc = Process(
+            f"listener_{tenant}", ring=USER_RING, principal=KERNEL_PRINCIPAL
+        )
+        self.kernels[tenant] = kernel
+        self.listeners[tenant] = LoginListener(kernel, listener_proc)
+        return kernel
+
+    def kernel_for(self, tenant: str) -> SpecializedKernel:
+        try:
+            return self.kernels[tenant]
+        except KeyError:
+            raise ValueError(f"no tenant {tenant!r}") from None
+
+    def route_process(self, process, tenant: str) -> None:
+        """Bind an existing process to a tenant's kernel."""
+        self.kernel_for(tenant)
+        self._tenant_of[process.pid] = tenant
+
+    def tenant_of(self, process) -> str | None:
+        return self._tenant_of.get(process.pid)
+
+    # -- the routed call path ---------------------------------------------
+
+    def call(self, process, gate_name: str, *args: object) -> object:
+        """Invoke a gate through the caller's tenant kernel (the full
+        kernel for unrouted processes)."""
+        tenant = self._tenant_of.get(process.pid)
+        if tenant is None:
+            self.unrouted_calls += 1
+            return self.system.supervisor.call(process, gate_name, *args)
+        self.routed_calls += 1
+        return self.kernels[tenant].call(process, gate_name, *args)
+
+    # -- sessions ---------------------------------------------------------
+
+    @contextmanager
+    def installed(self, tenant: str):
+        """Temporarily make ``tenant``'s kernel the system's active
+        supervisor (Session objects bind their supervisor at
+        construction, so building one inside this context pins it to
+        the tenant kernel permanently)."""
+        kernel = self.kernel_for(tenant)
+        saved_sup = self.system.supervisor
+        saved_listener = self.system.listener
+        self.system.supervisor = kernel
+        self.system.listener = self.listeners[tenant]
+        try:
+            yield kernel
+        finally:
+            self.system.supervisor = saved_sup
+            self.system.listener = saved_listener
+
+    def login(self, tenant: str, person: str, project: str, password: str,
+              register: bool = True, home: bool = True) -> "Session":
+        """Admit a user through the tenant's own listener; the returned
+        session calls gates through the tenant kernel for its lifetime.
+
+        ``home=False`` skips the home-directory ceremony (for profiles
+        whose training workload never created directories).
+        """
+        from repro.system import Session
+
+        listener = self.listeners.get(tenant)
+        if listener is None:
+            raise ValueError(f"no tenant {tenant!r}")
+        if register and person not in self.services.users:
+            self.services.register_user(person, [project], password)
+        user = listener.login(
+            person, project, password, source=f"tenant:{tenant}", quiet=True
+        )
+        process = self.services.created_processes[user.pid]
+        self._tenant_of[process.pid] = tenant
+        with self.installed(tenant):
+            session = Session(self.system, process, user.session_id)
+            if home:
+                session._ensure_home()
+        return session
+
+    def logout(self, session: "Session") -> None:
+        """End a tenant session through the listener that admitted it."""
+        tenant = self._tenant_of.get(session.process.pid)
+        if tenant is None:
+            raise ValueError(f"process {session.process.pid} is unrouted")
+        with self.installed(tenant):
+            session.logout()
+        self._tenant_of.pop(session.process.pid, None)

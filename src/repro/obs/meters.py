@@ -240,6 +240,11 @@ class Meters:
     def cpu_meter(self, cpu_id: int) -> CpuMeter | None:
         return self._cpu_meters.get(cpu_id)
 
+    def gate_usage(self) -> dict[str, GateMeter]:
+        """Per-gate meters, keyed by gate name (a shallow copy: the
+        profiler reads these to corroborate the audit trace)."""
+        return dict(self._gates)
+
     # -- per-process readbacks ------------------------------------------
 
     def _live_field(self, pid: int, attr: str) -> int:

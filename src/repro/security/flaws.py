@@ -274,13 +274,43 @@ class PenetrationReport:
         return [r.attack for r in self.results if r.succeeded]
 
 
-def run_penetration_suite(system) -> PenetrationReport:
-    """Run every standard attack against a booted system."""
+def run_penetration_suite(system, supervisor=None) -> PenetrationReport:
+    """Run every standard attack against a booted system.
+
+    ``supervisor`` injects an alternate kernel (e.g. a
+    ``SpecializedKernel`` over the same services): it is installed for
+    the duration of the suite and the original supervisor and listener
+    are restored afterwards.
+
+    An attack aborted by a :class:`ReproError` outside its own
+    handling — a specialized kernel may deny the very gates the attack
+    program needs to set itself up — is recorded as *not* succeeded:
+    denial of use is a defence, never a penetration.
+    """
     system.register_user("Wily", "Pentest", "wily-pw")
     system.register_user("Victim", "Payroll", "victim-pw")
-    results = []
-    for attack_cls in STANDARD_ATTACKS:
-        results.append(attack_cls().run(system))
-    return PenetrationReport(
-        system_kind=system.config.supervisor.value, results=results
-    )
+    saved_supervisor = system.supervisor
+    saved_listener = system.listener
+    if supervisor is not None:
+        system.install_supervisor(supervisor)
+    try:
+        results = []
+        for attack_cls in STANDARD_ATTACKS:
+            attack = attack_cls()
+            try:
+                results.append(attack.run(system))
+            except ReproError as denial:
+                results.append(attack._result(
+                    False,
+                    f"denied before the attack could run: "
+                    f"{type(denial).__name__}: {denial}",
+                ))
+    finally:
+        if supervisor is not None:
+            system.supervisor = saved_supervisor
+            system.listener = saved_listener
+            saved_supervisor.gates.claim_metrics()
+    kind = system.config.supervisor.value
+    if supervisor is not None:
+        kind = getattr(supervisor, "system_kind", kind)
+    return PenetrationReport(system_kind=kind, results=results)

@@ -172,6 +172,32 @@ class MulticsSystem:
         )
         self._booted = False
 
+    # -- supervisor swap (specialized kernels) ---------------------------------
+
+    def install_supervisor(self, supervisor) -> object:
+        """Swap the active supervisor (e.g. a ``SpecializedKernel``)
+        over the *same* kernel services; returns the previous one.
+
+        The new supervisor's gate table claims the ``gate.*`` metric
+        sources (latest owner wins), and on a booted kernel system the
+        login listener is rebuilt so new logins mint processes through
+        the installed perimeter.  Installing before :meth:`boot` means
+        the system runs specialized from its first gate call.
+        """
+        if supervisor.services is not self.services:
+            raise ValueError(
+                "supervisor was built over different kernel services"
+            )
+        previous = self.supervisor
+        self.supervisor = supervisor
+        supervisor.gates.claim_metrics()
+        if self._booted and self.config.supervisor is not SupervisorKind.LEGACY:
+            listener_proc = Process(
+                "login_listener", ring=USER_RING, principal=KERNEL_PRINCIPAL
+            )
+            self.listener = LoginListener(self.supervisor, listener_proc)
+        return previous
+
     # -- user management -----------------------------------------------------------
 
     def register_user(

@@ -78,11 +78,29 @@ class TestGateTable:
         table.register(gate)
         with pytest.raises(ValueError):
             table.register(gate)
+        # Still exactly one registration; the table is unchanged.
+        assert table.names().count("t_$x") == 1
 
     def test_unknown_gate(self, config):
         services, table = self.make_table(config)
         with pytest.raises(GateViolationError):
             table.call(user_process(), "no_such_gate")
+
+    def test_unregistered_gate_lookup(self, config):
+        services, table = self.make_table(config)
+        with pytest.raises(GateViolationError):
+            table.gate("hcs_$never_registered")
+        assert "hcs_$never_registered" not in table
+
+    def test_claim_metrics_rebinds_to_the_claiming_table(self, config):
+        services, first = self.make_table(config)
+        first.register(Gate("t_$x", "test", lambda s, p: None, ()))
+        first.call(user_process(), "t_$x")
+        second = GateTable(services, services.audit)  # claims on init
+        assert services.metrics.snapshot()["counters"]["gate.calls"] == 0
+        first.claim_metrics()
+        assert services.metrics.snapshot()["counters"]["gate.calls"] == 1
+        assert second.calls == 0
 
     def test_argument_count_enforced(self, config):
         services, table = self.make_table(config)
@@ -149,6 +167,65 @@ class TestGateTable:
         # The handler runs in ring 0; the caller returns to ring 4.
         assert table.call(process, "t_$x") == 0
         assert process.ring == 4
+
+
+class TestDenyStubGates:
+    """Edge cases of the specialized table's deny stubs: the stub
+    keeps the original gate's brackets and signature, so everything
+    the choke point enforces fires before (or instead of) the stub."""
+
+    def make_table(self, config, profile_gates=()):
+        from repro.kernel.specialize import GateProfile, SpecializedGateTable
+
+        services = KernelServices(config)
+        table = SpecializedGateTable(
+            services, services.audit, GateProfile("edge", profile_gates)
+        )
+        return services, table
+
+    def test_duplicate_stub_registration_rejected(self, config):
+        services, table = self.make_table(config)
+        gate = Gate("t_$x", "test", lambda s, p: None)
+        table.register_stub(gate)
+        with pytest.raises(ValueError):
+            table.register_stub(gate)
+        with pytest.raises(ValueError):
+            table.register(gate)
+
+    def test_stub_keeps_privileged_brackets(self, config):
+        from repro.errors import SpecializationDenial
+        from repro.kernel.gates import PRIVILEGED_GATE
+
+        services, table = self.make_table(config)
+        table.register_stub(
+            Gate("t_$admin", "test", lambda s, p: "ok", (),
+                 brackets=PRIVILEGED_GATE)
+        )
+        # From the user ring the bracket check fires first: an
+        # AccessViolation, not a SpecializationDenial, and no stub hit.
+        with pytest.raises(AccessViolation) as excinfo:
+            table.call(user_process(ring=4), "t_$admin")
+        assert not isinstance(excinfo.value, SpecializationDenial)
+        assert table.deny_stub_hits == 0
+        # From a trusted ring the bracket admits the call — into the
+        # stub, which refuses.
+        with pytest.raises(SpecializationDenial):
+            table.call(user_process(ring=1), "t_$admin")
+        assert table.deny_stub_hits == 1
+
+    def test_stub_validates_arguments_before_denying(self, config):
+        from repro.errors import InvalidArgument, SpecializationDenial
+
+        services, table = self.make_table(config)
+        table.register_stub(
+            Gate("t_$one", "test", lambda s, p, a: a, ("uint",))
+        )
+        with pytest.raises(InvalidArgument):
+            table.call(user_process(), "t_$one", -3)
+        assert table.deny_stub_hits == 0  # validation fired first
+        with pytest.raises(SpecializationDenial):
+            table.call(user_process(), "t_$one", 3)
+        assert table.deny_stub_hits == 1
 
 
 class TestPerimeterCensus:

@@ -195,3 +195,107 @@ def test_kernel_lock_wait_equals_remaining_window(start, hold, later):
     lock.hold(hold)
     wait = lock.acquire(now=start + later, owner="b")
     assert wait == max(0, hold - later)
+
+
+# ---------------------------------------------------------------------------
+# Specialized kernels: grants are exactly (full-kernel grants ∩ profile)
+# ---------------------------------------------------------------------------
+
+#: Read-only probes against a shared booted kernel system.  Each is
+#: (gate, args-builder) where the builder receives the root segno.
+_PROBES = [
+    ("hcs_$get_root", lambda root: ()),
+    ("hcs_$list_kst", lambda root: ()),
+    ("hcs_$get_quota", lambda root: (root,)),
+    ("hcs_$status", lambda root: (root, "udd")),
+    ("hcs_$acl_list", lambda root: (root, "udd")),
+    ("hcs_$get_uid", lambda root: (root,)),
+    ("net_$status", lambda root: ()),
+    ("net_$attach", lambda root: ()),
+    # Denied by the *full* kernel (no such entry): an in-profile gate
+    # must reproduce the denial, not mask it.
+    ("hcs_$get_bit_count", lambda root: (root, "no_such_entry")),
+    # Ring-denied on any kernel: the stub's brackets must fire first.
+    ("hcs_$set_quota", lambda root: (root, 10**9)),
+]
+
+_PROBE_GATES = sorted({gate for gate, _ in _PROBES})
+
+_SPECIALIZE_ENV = {}
+
+
+def _specialize_env() -> dict:
+    """One booted kernel system + the full kernel's probe outcomes,
+    built lazily and shared across hypothesis examples."""
+    if _SPECIALIZE_ENV:
+        return _SPECIALIZE_ENV
+    system = _boot(kernel_config())
+    session = system.login("Alice", "Crypto", "alice-pw")
+    root = session.call("hcs_$get_root")
+    from repro.kernel.specialize import full_kernel_gates
+
+    user_callable = {
+        g.name for g in full_kernel_gates() if g.user_available()
+    }
+    full_outcomes = {}
+    for gate, build in _PROBES:
+        full_outcomes[(gate, build)] = _probe(
+            system.supervisor, session.process, gate, build(root)
+        )
+    _SPECIALIZE_ENV.update(
+        system=system, session=session, root=root,
+        full_outcomes=full_outcomes, user_callable=user_callable,
+    )
+    return _SPECIALIZE_ENV
+
+
+def _probe(supervisor, process, gate: str, args: tuple) -> tuple[str, str]:
+    try:
+        result = supervisor.call(process, gate, *args)
+    except ReproError as exc:
+        return ("deny", type(exc).__name__)
+    return ("ok", repr(result))
+
+
+@settings(max_examples=50, derandomize=True, deadline=None)
+@given(st.sets(st.sampled_from(_PROBE_GATES)))
+def test_specialized_kernel_grants_exactly_the_profiled_intersection(subset):
+    """For a random gate-subset profile, the specialized kernel grants
+    exactly (full-kernel grants ∩ profile); everything else is denied
+    by a stub *and* lands in the audit log — differential grant/deny
+    trace against the full kernel on the same substrate."""
+    from repro.kernel.specialize import GateProfile, SpecializedKernel
+
+    env = _specialize_env()
+    system, session = env["system"], env["session"]
+    specialized = SpecializedKernel(
+        system.services, GateProfile("subset", gates=subset)
+    )
+    granted_full, granted_spec = set(), set()
+    for gate, build in _PROBES:
+        full_outcome = env["full_outcomes"][(gate, build)]
+        denials_before = len(system.audit.denied())
+        spec_outcome = _probe(
+            specialized, session.process, gate, build(env["root"])
+        )
+        if full_outcome[0] == "ok":
+            granted_full.add(gate)
+        if gate not in env["user_callable"]:
+            # Ring brackets survive specialization: the hardware turns
+            # the call away before any handler — stub or real — runs.
+            assert spec_outcome == full_outcome
+            assert spec_outcome != ("deny", "SpecializationDenial")
+        elif gate in subset:
+            # In profile: byte-identical outcome, grant or deny.
+            assert spec_outcome == full_outcome
+            if spec_outcome[0] == "ok":
+                granted_spec.add(gate)
+        else:
+            # Out of profile: denial of use, audited through the one
+            # funnel (a fresh denied record naming the gate).
+            assert spec_outcome == ("deny", "SpecializationDenial")
+            denied = system.audit.denied()
+            assert len(denied) == denials_before + 1
+            assert denied[-1].object == gate
+            assert denied[-1].category == "gate"
+    assert granted_spec == granted_full & subset

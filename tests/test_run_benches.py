@@ -44,7 +44,7 @@ def test_default_name_derives_from_default_pr(rb, sandbox):
 
 
 def test_current_default_pr_tag(rb):
-    assert rb.DEFAULT_PR == "pr9"
+    assert rb.DEFAULT_PR == "pr10"
 
 
 def test_list_prints_known_ids_and_exits(rb, capsys):
@@ -83,25 +83,35 @@ def _scaled_bench_stubs(rb, monkeypatch, seen):
             "one_shard_matches_driver": True,
         }, rb._boot_snapshot()
 
+    def fake_e21(quick=False):
+        seen["E21"] = quick
+        return {
+            "gates_total": 42, "max_gate_reduction": 0.8,
+            "pen_successes_total": 0, "pen_attempted_total": 24,
+            "all_identical": True, "all_deny_complete": True,
+            "orchestrator_tenants": 4, "orchestrator_cross_denials": 4,
+        }, rb._boot_snapshot()
+
     monkeypatch.setattr(rb, "workload_bench_numbers", fake_e18)
     monkeypatch.setattr(rb, "sharded_bench_numbers", fake_e19)
     monkeypatch.setattr(rb, "timeline_bench_numbers", fake_e20)
+    monkeypatch.setattr(rb, "specialize_bench_numbers", fake_e21)
 
 
 def test_quick_flag_reaches_the_scaled_benches(rb, sandbox, monkeypatch):
     seen = {}
     _scaled_bench_stubs(rb, monkeypatch, seen)
     assert rb.main(
-        ["run_benches", "--only", "E18,E19,E20", "--quick"]
+        ["run_benches", "--only", "E18,E19,E20,E21", "--quick"]
     ) == 0
-    assert seen == {"E18": True, "E19": True, "E20": True}
+    assert seen == {"E18": True, "E19": True, "E20": True, "E21": True}
 
 
 def test_without_quick_the_full_legs_run(rb, sandbox, monkeypatch):
     seen = {}
     _scaled_bench_stubs(rb, monkeypatch, seen)
-    assert rb.main(["run_benches", "--only", "E18,E19,E20"]) == 0
-    assert seen == {"E18": False, "E19": False, "E20": False}
+    assert rb.main(["run_benches", "--only", "E18,E19,E20,E21"]) == 0
+    assert seen == {"E18": False, "E19": False, "E20": False, "E21": False}
 
 
 def test_pr_flag_overrides_default(rb, sandbox):
